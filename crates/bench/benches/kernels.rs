@@ -1,0 +1,59 @@
+//! Local kernel benchmarks: the per-rank building blocks of Algorithms
+//! 1–3. The headline micro-claim mirrored here: local SYRK does ~half the
+//! work of local GEMM for the same product.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use syrk_dense::{gemm_nt, gemm_nt_ref, seeded_matrix, syrk_packed_new, Diag, Matrix};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local_gemm_nt");
+    for n in [64usize, 128, 256] {
+        let a = seeded_matrix::<f64>(n, n, 1);
+        let b = seeded_matrix::<f64>(n, n, 2);
+        g.bench_function(format!("blocked_{n}"), |bch| {
+            bch.iter(|| {
+                let mut out = Matrix::zeros(n, n);
+                gemm_nt(&mut out, black_box(&a), black_box(&b));
+                out
+            })
+        });
+        if n <= 128 {
+            g.bench_function(format!("reference_{n}"), |bch| {
+                bch.iter(|| {
+                    let mut out = Matrix::zeros(n, n);
+                    gemm_nt_ref(&mut out, black_box(&a), black_box(&b));
+                    out
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_syrk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local_syrk");
+    for (n, k) in [(128usize, 64usize), (256, 64), (256, 256)] {
+        let a = seeded_matrix::<f64>(n, k, 3);
+        g.bench_function(format!("packed_{n}x{k}"), |bch| {
+            bch.iter(|| syrk_packed_new(black_box(&a), Diag::Inclusive))
+        });
+    }
+    // The factor-2 story at the kernel level: n×n SYRK vs n×n GEMM.
+    let n = 192;
+    let a = seeded_matrix::<f64>(n, n, 4);
+    g.bench_function(format!("syrk_vs_gemm_syrk_{n}"), |bch| {
+        bch.iter(|| syrk_packed_new(black_box(&a), Diag::Inclusive))
+    });
+    g.bench_function(format!("syrk_vs_gemm_gemm_{n}"), |bch| {
+        bch.iter(|| {
+            let mut out = Matrix::zeros(n, n);
+            gemm_nt(&mut out, black_box(&a), black_box(&a));
+            out
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_syrk);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments              # run everything
+//! experiments list         # list experiment slugs
+//! experiments table1 fig3  # run a subset
+//! ```
+//!
+//! Text tables go to stdout; CSVs to `target/experiments/`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+use syrk_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = experiments::all();
+
+    if args.first().map(String::as_str) == Some("list") {
+        println!("{:<12} paper artifact", "slug");
+        for e in &all {
+            println!("{:<12} {}", e.slug, e.artifact);
+        }
+        return;
+    }
+
+    let selected: Vec<_> = if args.is_empty() {
+        all.iter().collect()
+    } else {
+        let known: Vec<&str> = all.iter().map(|e| e.slug).collect();
+        for a in &args {
+            assert!(
+                known.contains(&a.as_str()),
+                "unknown experiment '{a}'; try `experiments list`"
+            );
+        }
+        all.iter()
+            .filter(|e| args.contains(&e.slug.to_string()))
+            .collect()
+    };
+
+    let csv_dir = PathBuf::from("target/experiments");
+    let started = Instant::now();
+    for e in selected {
+        let t0 = Instant::now();
+        println!("═══ {} — {} ═══", e.slug, e.artifact);
+        for (idx, table) in (e.run)().iter().enumerate() {
+            print!("{}", table.render());
+            let slug = format!("{}_{}", e.slug, idx);
+            table.write_csv(&csv_dir, &slug).expect("writing CSV");
+            println!();
+        }
+        println!("({} finished in {:.2?})\n", e.slug, t0.elapsed());
+    }
+    println!(
+        "All requested experiments done in {:.2?}; CSVs in {}",
+        started.elapsed(),
+        csv_dir.display()
+    );
+}

@@ -1,0 +1,57 @@
+//! Grid-planning utility: the §5.4 selection as a CLI.
+//!
+//! ```text
+//! plan <n1> <n2> <P>
+//! ```
+//!
+//! Prints the bound case, the chosen algorithm/grid, the predicted
+//! bandwidth cost, the Theorem 1 bound, and the runner-up plans.
+
+use syrk_core::{candidate_plans, plan, predicted_cost, syrk_lower_bound};
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| {
+            a.parse()
+                .unwrap_or_else(|_| panic!("'{a}' is not a positive integer"))
+        })
+        .collect();
+    let [n1, n2, p] = args[..] else {
+        eprintln!("usage: plan <n1> <n2> <P>");
+        std::process::exit(2);
+    };
+    assert!(
+        n1 >= 2 && n2 >= 1 && p >= 1,
+        "need n1 >= 2, n2 >= 1, P >= 1"
+    );
+
+    let bound = syrk_lower_bound(n1, n2, p);
+    println!("SYRK C = A·Aᵀ, A {n1}×{n2}, budget P = {p}");
+    println!(
+        "Theorem 1: case {:?}, W = {:.1}, communicated bound = {:.1}",
+        bound.case,
+        bound.w,
+        bound.communicated()
+    );
+
+    let chosen = plan(n1, n2, p);
+    println!("\nchosen plan:     {:?}", chosen.plan);
+    println!("ranks used:      {}", chosen.plan.ranks());
+    println!("predicted words: {:.1}", chosen.predicted_cost);
+    println!("bound at ranks:  {:.1}", chosen.bound);
+    println!(
+        "predicted/bound: {:.3}",
+        chosen.predicted_cost / chosen.bound.max(1.0)
+    );
+
+    let mut ranked: Vec<_> = candidate_plans(p)
+        .into_iter()
+        .map(|pl| (predicted_cost(n1, n2, pl), pl))
+        .collect();
+    ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+    println!("\ntop candidates:");
+    for (cost, pl) in ranked.iter().take(8) {
+        println!("  {:>12.1}  {:?} (ranks {})", cost, pl, pl.ranks());
+    }
+}

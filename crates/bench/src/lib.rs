@@ -1,0 +1,15 @@
+//! # syrk-bench — experiment harness
+//!
+//! Regenerates every table and figure of the SPAA '23 SYRK paper from the
+//! implementation (see DESIGN.md's per-experiment index). The
+//! `experiments` binary prints aligned text tables and writes CSVs; the
+//! Criterion benches under `benches/` time the kernels, the collectives,
+//! and the full simulated algorithms.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{all, Experiment};
+pub use table::{fnum, Table};

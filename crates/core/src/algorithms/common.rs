@@ -1,0 +1,162 @@
+//! Shared types for the distributed SYRK algorithms: per-rank outputs,
+//! global assembly, and the run result bundling output with costs.
+
+use syrk_dense::{Diag, Matrix, PackedLower, Partition1D};
+use syrk_machine::CostReport;
+
+/// An off-diagonal block of `C` produced by a rank: block indices
+/// `(i, j)` with `i > j` and the dense block values.
+#[derive(Debug, Clone)]
+pub struct OffDiagBlock {
+    /// Block row index.
+    pub i: usize,
+    /// Block column index (`j < i`).
+    pub j: usize,
+    /// The dense `rows(i) × rows(j)` block.
+    pub data: Matrix<f64>,
+}
+
+/// A diagonal block of `C` produced by a rank, stored as an inclusive
+/// packed lower triangle (symmetry makes the upper half redundant).
+#[derive(Debug, Clone)]
+pub struct DiagBlock {
+    /// Block index on the diagonal.
+    pub i: usize,
+    /// Packed inclusive lower triangle of the block.
+    pub data: PackedLower<f64>,
+}
+
+/// Everything a rank contributes to the global output.
+#[derive(Debug, Clone, Default)]
+pub struct LocalOutput {
+    /// Off-diagonal blocks owned by this rank.
+    pub offdiag: Vec<OffDiagBlock>,
+    /// Diagonal blocks owned by this rank (at most one for the paper's
+    /// algorithms).
+    pub diag: Vec<DiagBlock>,
+}
+
+/// The result of a distributed SYRK run: the assembled full symmetric
+/// output and the machine's cost report.
+#[derive(Debug)]
+pub struct SyrkRunResult {
+    /// `C = A·Aᵀ`, assembled and symmetrized (diagonal included).
+    pub c: Matrix<f64>,
+    /// Communication/computation costs of the run.
+    pub cost: CostReport,
+}
+
+/// Assemble per-rank [`LocalOutput`]s into the full symmetric `C`.
+///
+/// `rows` is the block-row partition of `0..n1` shared by all outputs.
+/// Every off-diagonal and diagonal block must appear exactly once across
+/// the outputs; the strict upper triangle is filled by mirroring.
+pub fn assemble_c(n1: usize, rows: &Partition1D, outputs: &[LocalOutput]) -> Matrix<f64> {
+    let mut c = Matrix::zeros(n1, n1);
+    let mut seen_off = std::collections::HashSet::new();
+    let mut seen_diag = std::collections::HashSet::new();
+    for out in outputs {
+        for blk in &out.offdiag {
+            assert!(blk.j < blk.i, "off-diagonal block must have j < i");
+            assert!(
+                seen_off.insert((blk.i, blk.j)),
+                "block ({}, {}) produced twice",
+                blk.i,
+                blk.j
+            );
+            let (r, s) = (rows.range(blk.i), rows.range(blk.j));
+            assert_eq!(blk.data.shape(), (r.len(), s.len()), "block shape mismatch");
+            c.set_block(r.start, s.start, &blk.data);
+        }
+        for blk in &out.diag {
+            assert!(
+                seen_diag.insert(blk.i),
+                "diagonal block {} produced twice",
+                blk.i
+            );
+            let r = rows.range(blk.i);
+            assert_eq!(blk.data.n(), r.len(), "diagonal block size mismatch");
+            assert_eq!(blk.data.diag(), Diag::Inclusive);
+            let full = blk.data.to_full_symmetric();
+            c.set_block(r.start, r.start, &full);
+        }
+    }
+    // Mirror the lower triangle up.
+    for i in 0..n1 {
+        for j in 0..i {
+            let v = c[(i, j)];
+            c[(j, i)] = v;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syrk_dense::{max_abs_diff, mul_nt, seeded_matrix, syrk_full_reference, syrk_packed_new};
+
+    #[test]
+    fn assembly_reconstructs_reference() {
+        // Split a small SYRK by hand into blocks and reassemble.
+        let (n1, n2) = (6, 4);
+        let a = seeded_matrix::<f64>(n1, n2, 5);
+        let rows = Partition1D::new(n1, 3);
+        let mut outputs = vec![LocalOutput::default(), LocalOutput::default()];
+        // Rank 0: off-diagonal blocks (1,0), (2,0); rank 1: (2,1) + diagonals.
+        for (rank, pairs) in [(0usize, vec![(1usize, 0usize), (2, 0)]), (1, vec![(2, 1)])] {
+            for (i, j) in pairs {
+                let (ri, rj) = (rows.range(i), rows.range(j));
+                let ai = a.block_owned(ri.start, 0, ri.len(), n2);
+                let aj = a.block_owned(rj.start, 0, rj.len(), n2);
+                outputs[rank].offdiag.push(OffDiagBlock {
+                    i,
+                    j,
+                    data: mul_nt(&ai, &aj),
+                });
+            }
+        }
+        for i in 0..3 {
+            let r = rows.range(i);
+            let ai = a.block_owned(r.start, 0, r.len(), n2);
+            outputs[1].diag.push(DiagBlock {
+                i,
+                data: syrk_packed_new(&ai, syrk_dense::Diag::Inclusive),
+            });
+        }
+        let c = assemble_c(n1, &rows, &outputs);
+        let want = syrk_full_reference(&a);
+        assert!(max_abs_diff(&c, &want) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "produced twice")]
+    fn duplicate_block_rejected() {
+        let rows = Partition1D::new(4, 2);
+        let blk = OffDiagBlock {
+            i: 1,
+            j: 0,
+            data: Matrix::zeros(2, 2),
+        };
+        let out = LocalOutput {
+            offdiag: vec![blk.clone(), blk],
+            diag: vec![],
+        };
+        let _ = assemble_c(4, &rows, &[out]);
+    }
+
+    #[test]
+    #[should_panic(expected = "j < i")]
+    fn upper_block_rejected() {
+        let rows = Partition1D::new(4, 2);
+        let out = LocalOutput {
+            offdiag: vec![OffDiagBlock {
+                i: 0,
+                j: 1,
+                data: Matrix::zeros(2, 2),
+            }],
+            diag: vec![],
+        };
+        let _ = assemble_c(4, &rows, &[out]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Algorithm 3: 3D SYRK (§5.3).
+//!
+//! A `p1 × p2` process grid with `p1 = c(c+1)`: each of the `p2` slices
+//! `Π_{*ℓ}` runs the 2D algorithm on its block column `A_{*ℓ}` (`n2/p2`
+//! columns), producing identically-distributed partial results; a
+//! `Reduce-Scatter` across each row `Π_{k*}` then sums the partial `C_k`
+//! triangle-blocks-of-blocks and leaves the final output evenly spread.
+//!
+//! Bandwidth cost (eq. (12)): `n1n2/(√p1·p2) + n1²/(2p1)` to leading
+//! order.
+
+use syrk_dense::{Diag, Matrix, PackedLower, Partition1D};
+use syrk_machine::{CostModel, Machine, ProcessGrid};
+
+use super::common::{assemble_c, DiagBlock, LocalOutput, OffDiagBlock, SyrkRunResult};
+use super::twod::twod_body;
+use crate::dist::{ConformalADist, TriangleBlockDist};
+
+/// The canonical flat layout of a rank's `C_k` data: its off-diagonal
+/// blocks in `blocks_of(k)` order (each row-major), followed by the
+/// packed inclusive diagonal block if one is assigned. The layout is a
+/// pure function of `(dist, rows, k)`, so all `p2` ranks of a grid row
+/// agree on it — the precondition for reduce-scattering `C_k`.
+struct CkLayout {
+    offdiag: Vec<(usize, usize, usize, usize)>, // (i, j, rows, cols)
+    diag: Option<(usize, usize)>,               // (i, n)
+    total: usize,
+}
+
+impl CkLayout {
+    fn new(dist: &TriangleBlockDist, rows: &Partition1D, k: usize) -> Self {
+        let mut total = 0;
+        let offdiag: Vec<_> = dist
+            .blocks_of(k)
+            .into_iter()
+            .map(|(i, j)| {
+                let (ri, rj) = (rows.len(i), rows.len(j));
+                total += ri * rj;
+                (i, j, ri, rj)
+            })
+            .collect();
+        let diag = dist.d_block(k).map(|i| {
+            let n = rows.len(i);
+            total += Diag::Inclusive.packed_len(n);
+            (i, n)
+        });
+        CkLayout {
+            offdiag,
+            diag,
+            total,
+        }
+    }
+
+    fn flatten(&self, out: &LocalOutput) -> Vec<f64> {
+        let mut flat = Vec::with_capacity(self.total);
+        for (idx, &(i, j, ri, rj)) in self.offdiag.iter().enumerate() {
+            let blk = &out.offdiag[idx];
+            assert_eq!((blk.i, blk.j), (i, j), "layout order mismatch");
+            assert_eq!(blk.data.shape(), (ri, rj));
+            flat.extend_from_slice(blk.data.as_slice());
+        }
+        if let Some((i, n)) = self.diag {
+            let blk = &out.diag[0];
+            assert_eq!(blk.i, i);
+            assert_eq!(blk.data.n(), n);
+            flat.extend_from_slice(blk.data.as_slice());
+        }
+        debug_assert_eq!(flat.len(), self.total);
+        flat
+    }
+
+    fn unflatten(&self, flat: &[f64]) -> LocalOutput {
+        assert_eq!(
+            flat.len(),
+            self.total,
+            "flat C_k buffer has the wrong length"
+        );
+        let mut out = LocalOutput::default();
+        let mut off = 0;
+        for &(i, j, ri, rj) in &self.offdiag {
+            let len = ri * rj;
+            out.offdiag.push(OffDiagBlock {
+                i,
+                j,
+                data: Matrix::from_vec(ri, rj, flat[off..off + len].to_vec()),
+            });
+            off += len;
+        }
+        if let Some((i, n)) = self.diag {
+            let len = Diag::Inclusive.packed_len(n);
+            out.diag.push(DiagBlock {
+                i,
+                data: PackedLower::from_vec(n, Diag::Inclusive, flat[off..off + len].to_vec()),
+            });
+            off += len;
+        }
+        debug_assert_eq!(off, flat.len());
+        out
+    }
+}
+
+/// Run Algorithm 3 on a simulated machine with `P = c(c+1)·p2` ranks.
+///
+/// Returns the assembled `C = A·Aᵀ` and the cost report.
+pub fn syrk_3d(a: &Matrix<f64>, c: usize, p2: usize, model: CostModel) -> SyrkRunResult {
+    let dist = TriangleBlockDist::for_order(c).unwrap_or_else(|| {
+        panic!("no triangle block construction for c = {c} (need a prime power)")
+    });
+    let p1 = dist.p();
+    let (n1, n2) = a.shape();
+    let rows = Partition1D::new(n1, dist.num_blocks());
+    let cols = Partition1D::new(n2, p2);
+    let grid = ProcessGrid::new(p1, p2);
+
+    let machine = Machine::new(p1 * p2).with_model(model);
+    let out = machine.run(|mut comm| {
+        let gc = grid.split(&mut comm);
+        // Line 3: run 2D SYRK within the slice on block column A_{*ℓ}.
+        let cr = cols.range(gc.l);
+        let a_col = a.block_owned(0, cr.start, n1, cr.len());
+        let ad = ConformalADist::new(&dist, n1, cr.len());
+        let local = twod_body(&gc.slice, &dist, &ad, &a_col);
+        // Lines 4–5: Reduce-Scatter the partial C_k across Π_{k*}.
+        let layout = CkLayout::new(&dist, &rows, gc.k);
+        let flat = layout.flatten(&local);
+        let seg = Partition1D::new(flat.len(), p2);
+        let mine = gc.row.reduce_scatter_block(&flat, &seg.lens());
+        (gc.k, gc.l, mine)
+    });
+
+    // Assembly: for each grid row k, concatenate the p2 final segments in
+    // ℓ order to recover the summed flat C_k, then unflatten.
+    let mut per_k: Vec<Vec<(usize, Vec<f64>)>> = vec![Vec::new(); p1];
+    for (k, l, seg) in out.results {
+        per_k[k].push((l, seg));
+    }
+    let mut outputs = Vec::with_capacity(p1);
+    for (k, mut segs) in per_k.into_iter().enumerate() {
+        segs.sort_by_key(|&(l, _)| l);
+        let flat: Vec<f64> = segs.into_iter().flat_map(|(_, s)| s).collect();
+        outputs.push(CkLayout::new(&dist, &rows, k).unflatten(&flat));
+    }
+    let c_full = assemble_c(n1, &rows, &outputs);
+    SyrkRunResult {
+        c: c_full,
+        cost: out.cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::alg3d_predicted_cost;
+    use syrk_dense::{max_abs_diff, seeded_int_matrix, seeded_matrix, syrk_full_reference};
+
+    #[test]
+    fn correct_small_grids() {
+        for &(n1, n2, c, p2) in &[
+            (8usize, 6usize, 2usize, 3usize), // Fig. 3's grid: p1=6, p2=3
+            (8, 8, 2, 2),
+            (9, 12, 3, 2),
+            (12, 9, 2, 3),  // uneven: c² = 4 blocks of 3 rows, n2 = 9 over 3
+            (10, 10, 2, 4), // c² ∤ n1 and p2 ∤ n2
+        ] {
+            let a = seeded_matrix::<f64>(n1, n2, (n1 * 7 + n2 * 3 + c) as u64);
+            let run = syrk_3d(&a, c, p2, CostModel::bandwidth_only());
+            let err = max_abs_diff(&run.c, &syrk_full_reference(&a));
+            assert!(err < 1e-10, "({n1},{n2},c={c},p2={p2}): err {err}");
+        }
+    }
+
+    #[test]
+    fn p2_equals_1_reduces_to_2d() {
+        // With p2 = 1 the slice is the whole machine and the final
+        // Reduce-Scatter is over one rank (free): identical to Alg. 2.
+        let a = seeded_int_matrix::<f64>(12, 5, 4, 5);
+        let run3 = syrk_3d(&a, 2, 1, CostModel::bandwidth_only());
+        let run2 = super::super::twod::syrk_2d(&a, 2, CostModel::bandwidth_only());
+        assert_eq!(max_abs_diff(&run3.c, &run2.c), 0.0);
+        assert_eq!(run3.cost.max_words_sent(), run2.cost.max_words_sent());
+    }
+
+    #[test]
+    fn integer_inputs_are_exact() {
+        let a = seeded_int_matrix::<f64>(16, 12, 4, 21);
+        let run = syrk_3d(&a, 2, 3, CostModel::bandwidth_only());
+        assert_eq!(max_abs_diff(&run.c, &syrk_full_reference(&a)), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_near_eq12() {
+        // Exact-division sizes so the prediction is sharp. Our A-exchange
+        // is the tight (unpadded) variant, so measured ≤ eq. (12) with the
+        // A term scaled by c/(c+1), within rounding.
+        let (n1, n2, c, p2) = (36, 24, 3, 4);
+        let a = seeded_matrix::<f64>(n1, n2, 6);
+        let run = syrk_3d(&a, c, p2, CostModel::bandwidth_only());
+        let measured = run.cost.max_words_sent() as f64;
+        let padded = alg3d_predicted_cost(n1, n2, c, p2);
+        // Tight A-term: n1·(n2/p2)/(c+1); C-term as in eq. (12) but with
+        // the exact |C_k| of this grid.
+        assert!(
+            measured <= padded * 1.05,
+            "measured {measured} should not exceed padded eq(12) {padded}"
+        );
+        assert!(
+            measured >= padded * 0.6,
+            "measured {measured} suspiciously far below eq(12) {padded}"
+        );
+    }
+
+    #[test]
+    fn both_a_and_c_move() {
+        // Unlike 1D (C only) and 2D (A only), the 3D algorithm moves both:
+        // words exceed either single-phase total.
+        let (n1, n2, c, p2) = (24, 12, 2, 2);
+        let a = seeded_matrix::<f64>(n1, n2, 13);
+        let run = syrk_3d(&a, c, p2, CostModel::bandwidth_only());
+        let a_words_per_slice_rank = n1 * (n2 / p2) / (c + 1);
+        assert!(run.cost.max_words_sent() > a_words_per_slice_rank as u64);
+    }
+}

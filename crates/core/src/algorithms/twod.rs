@@ -1,0 +1,302 @@
+//! Algorithm 2: 2D SYRK (§5.2).
+//!
+//! `C` is laid out by the Triangle Block Distribution; each processor
+//! gathers the `c` row blocks of `A` in its row block set `R_k` via a
+//! single `All-to-All` (each pair of processors shares at most one row
+//! block, so the exchange pattern is exactly personalized all-to-all),
+//! then computes its `c(c−1)/2` off-diagonal blocks with local GEMMs and
+//! its diagonal block (if assigned) with a local SYRK. No contribution to
+//! `C` is ever communicated — only parts of `A`.
+
+use syrk_dense::{gemm_flops, mul_nt, syrk_flops, syrk_packed_new, Diag, Matrix};
+use syrk_machine::{Comm, CostModel, Machine};
+
+use super::common::{assemble_c, DiagBlock, LocalOutput, OffDiagBlock, SyrkRunResult};
+use crate::dist::{ConformalADist, TriangleBlockDist};
+
+/// The SPMD body of Algorithm 2, reused verbatim by each slice of the 3D
+/// algorithm (Alg. 3 line 3). `a_slice` is the `n1 × n2_local` input this
+/// communicator is responsible for; `comm.size()` must be `c(c+1)`.
+pub(crate) fn twod_body(
+    comm: &Comm,
+    dist: &TriangleBlockDist,
+    ad: &ConformalADist,
+    a_slice: &Matrix<f64>,
+) -> LocalOutput {
+    twod_body_impl(comm, dist, ad, a_slice, false)
+}
+
+/// Like [`twod_body`] but with the exchange buffer `B` padded to `P`
+/// equal blocks of `⌈n1·n2/(c²(c+1))⌉` words, exactly as Algorithm 2's
+/// pseudocode allocates it — reproducing the eq. (10) cost analysis
+/// verbatim (the unpadded variant is slightly cheaper; see
+/// `alg2d_tight_cost`).
+pub(crate) fn twod_body_impl(
+    comm: &Comm,
+    dist: &TriangleBlockDist,
+    ad: &ConformalADist,
+    a_slice: &Matrix<f64>,
+    padded: bool,
+) -> LocalOutput {
+    assert_eq!(comm.size(), dist.p(), "2D body needs exactly c(c+1) ranks");
+    let k = comm.rank();
+    let n2l = a_slice.cols();
+    // The paper's fixed block size for B: n1n2 / (c²(c+1)), rounded up to
+    // cover uneven chunk splits.
+    let pad_len = (0..dist.num_blocks())
+        .flat_map(|i| dist.q_set(i).iter().map(move |&m| ad.chunk_len(i, m)))
+        .max()
+        .unwrap_or(0);
+
+    // Initial distribution: my chunk of each row block in R_k.
+    let my_chunk = |i: usize| ad.extract_chunk(a_slice, i, k);
+
+    // Lines 3–9: pack the per-destination buffer and exchange. The block
+    // destined to k' is my chunk of the unique row block shared with k'
+    // (empty when we share none — those pairs still exchange a zero-word
+    // message in the pairwise algorithm, costing only latency; with
+    // `padded`, every block is stretched to the fixed size like the
+    // paper's B array, so even partnerless pairs ship pad_len words).
+    let blocks: Vec<Vec<f64>> = (0..comm.size())
+        .map(|k2| {
+            if k2 == k {
+                return Vec::new();
+            }
+            let mut buf = dist.common_block(k, k2).map(&my_chunk).unwrap_or_default();
+            if padded {
+                buf.resize(pad_len, 0.0);
+            }
+            buf
+        })
+        .collect();
+    let received = comm.all_to_all(blocks);
+
+    // Lines 10–14: reassemble each full row block A_i from the chunks of
+    // Q_i (mine plus the one received from every other member; padded
+    // buffers are truncated back to the true chunk length).
+    let gathered: Vec<(usize, Matrix<f64>)> = dist
+        .r_set(k)
+        .iter()
+        .map(|&i| {
+            let chunks: Vec<Vec<f64>> = dist
+                .q_set(i)
+                .iter()
+                .map(|&m| {
+                    if m == k {
+                        my_chunk(i)
+                    } else {
+                        received[m][..ad.chunk_len(i, m)].to_vec()
+                    }
+                })
+                .collect();
+            (i, ad.assemble_block(i, &chunks))
+        })
+        .collect();
+    comm.note_buffer(
+        gathered.iter().map(|(_, m)| m.len()).sum::<usize>()
+            + dist
+                .r_set(k)
+                .iter()
+                .map(|&i| ad.chunk_len(i, k))
+                .sum::<usize>(),
+    );
+    let block_for = |i: usize| {
+        &gathered
+            .iter()
+            .find(|&&(bi, _)| bi == i)
+            .expect("i ∈ R_k was gathered")
+            .1
+    };
+
+    // Lines 15–17: off-diagonal blocks C_ij = A_i · A_jᵀ.
+    let mut out = LocalOutput::default();
+    for (i, j) in dist.blocks_of(k) {
+        let (ai, aj) = (block_for(i), block_for(j));
+        out.offdiag.push(OffDiagBlock {
+            i,
+            j,
+            data: mul_nt(ai, aj),
+        });
+        comm.add_flops(gemm_flops(ai.rows(), aj.rows(), n2l));
+    }
+
+    // Lines 18–20: the diagonal block, if assigned.
+    if let Some(i) = dist.d_block(k) {
+        let ai = block_for(i);
+        out.diag.push(DiagBlock {
+            i,
+            data: syrk_packed_new(ai, Diag::Inclusive),
+        });
+        comm.add_flops(syrk_flops(ai.rows(), n2l));
+    }
+    out
+}
+
+/// Run Algorithm 2 on a simulated machine with `P = c(c+1)` ranks.
+///
+/// Returns the assembled `C = A·Aᵀ` and the cost report.
+pub fn syrk_2d(a: &Matrix<f64>, c: usize, model: CostModel) -> SyrkRunResult {
+    syrk_2d_impl(a, c, model, false)
+}
+
+/// Algorithm 2 with the paper's padded exchange buffer `B` (Alg. 2
+/// lines 3–9 verbatim): measured bandwidth reproduces eq. (10)'s
+/// `(n1n2/c)(1 − 1/P)` exactly, at the cost of shipping some zeros.
+pub fn syrk_2d_padded(a: &Matrix<f64>, c: usize, model: CostModel) -> SyrkRunResult {
+    syrk_2d_impl(a, c, model, true)
+}
+
+fn syrk_2d_impl(a: &Matrix<f64>, c: usize, model: CostModel, padded: bool) -> SyrkRunResult {
+    syrk_2d_traced_impl(a, c, model, padded, false).0
+}
+
+/// Algorithm 2 with event tracing enabled: returns the run result plus
+/// the per-rank communication timelines (see `syrk_machine::Event`).
+pub fn syrk_2d_traced(
+    a: &Matrix<f64>,
+    c: usize,
+    model: CostModel,
+) -> (SyrkRunResult, Vec<syrk_machine::Timeline>) {
+    let (run, traces) = syrk_2d_traced_impl(a, c, model, false, true);
+    (run, traces.expect("tracing was enabled"))
+}
+
+fn syrk_2d_traced_impl(
+    a: &Matrix<f64>,
+    c: usize,
+    model: CostModel,
+    padded: bool,
+    tracing: bool,
+) -> (SyrkRunResult, Option<Vec<syrk_machine::Timeline>>) {
+    let dist = TriangleBlockDist::for_order(c).unwrap_or_else(|| {
+        panic!("no triangle block construction for c = {c} (need a prime power)")
+    });
+    let (n1, n2) = a.shape();
+    let ad = ConformalADist::new(&dist, n1, n2);
+
+    let mut machine = Machine::new(dist.p()).with_model(model);
+    if tracing {
+        machine = machine.with_tracing();
+    }
+    let out = machine.run(|comm| twod_body_impl(&comm, &dist, &ad, a, padded));
+    let c_full = assemble_c(n1, &ad.rows, &out.results);
+    (
+        SyrkRunResult {
+            c: c_full,
+            cost: out.cost,
+        },
+        out.traces,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{alg2d_predicted_cost, alg2d_tight_cost};
+    use syrk_dense::{max_abs_diff, seeded_int_matrix, seeded_matrix, syrk_full_reference};
+
+    #[test]
+    fn correct_for_c2_and_c3() {
+        for &(n1, n2, c) in &[
+            (8usize, 6usize, 2usize), // c² = 4 row blocks of 2 rows
+            (9, 5, 3),                // c² = 9 row blocks of 1 row
+            (18, 4, 3),
+            (27, 7, 3),
+            (10, 3, 3), // c² ∤ n1: uneven row blocks
+        ] {
+            let a = seeded_matrix::<f64>(n1, n2, (n1 * 13 + n2) as u64);
+            let run = syrk_2d(&a, c, CostModel::bandwidth_only());
+            let err = max_abs_diff(&run.c, &syrk_full_reference(&a));
+            assert!(err < 1e-10, "({n1},{n2},c={c}): err {err}");
+        }
+    }
+
+    #[test]
+    fn correct_for_c5() {
+        // P = 30 ranks, 25 row blocks.
+        let a = seeded_int_matrix::<f64>(50, 6, 4, 77);
+        let run = syrk_2d(&a, 5, CostModel::bandwidth_only());
+        assert_eq!(max_abs_diff(&run.c, &syrk_full_reference(&a)), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_matches_tight_cost() {
+        // Meaningful chunks only: each rank sends n1·n2/(c+1) words
+        // (= W − n1n2/P, slightly under the padded eq. (10) analysis).
+        let (n1, n2, c) = (36, 8, 3); // blocks of 4 rows, chunks of 8 words
+        let a = seeded_matrix::<f64>(n1, n2, 4);
+        let run = syrk_2d(&a, c, CostModel::bandwidth_only());
+        let tight = alg2d_tight_cost(n1, n2, c);
+        let measured = run.cost.max_words_sent() as f64;
+        assert!(
+            (measured - tight).abs() <= 1.0,
+            "measured {measured} vs tight {tight}"
+        );
+        assert!(measured <= alg2d_predicted_cost(n1, n2, c) + 1.0);
+        // Pairwise exchange: P − 1 messages.
+        assert_eq!(run.cost.max_messages(), (dist_p(c) - 1) as u64);
+    }
+
+    fn dist_p(c: usize) -> usize {
+        c * (c + 1)
+    }
+
+    #[test]
+    fn no_c_communication() {
+        // Only parts of A move: total words = P · n1n2/(c+1) exactly when
+        // the chunk sizes divide evenly.
+        let (n1, n2, c) = (36, 8, 3);
+        let a = seeded_matrix::<f64>(n1, n2, 8);
+        let run = syrk_2d(&a, c, CostModel::bandwidth_only());
+        let expect = dist_p(c) * n1 * n2 / (c + 1);
+        assert_eq!(run.cost.total_words(), expect as u64);
+    }
+
+    #[test]
+    fn flop_imbalance_is_only_the_diagonal_effect() {
+        // c ranks compute no diagonal block; the imbalance must stay under
+        // the ratio (off+diag)/off = 1 + O(1/c) (§5.2.3).
+        let (n1, n2, c) = (36, 10, 3);
+        let a = seeded_matrix::<f64>(n1, n2, 2);
+        let run = syrk_2d(&a, c, CostModel::bandwidth_only());
+        let imb = run.cost.flop_imbalance();
+        // Off-diagonal work per rank: c(c−1)/2 gemms = 3 gemms of
+        // 2·12²·10; diagonal adds ≤ one syrk of 12·13·10.
+        assert!(imb > 1.0 && imb < 1.3, "imbalance {imb}");
+    }
+
+    #[test]
+    fn total_flops_equal_symmetric_work() {
+        // Σ flops = n1(n1+1)n2 + cross-block corrections: with exact
+        // block division, off-diagonal gemms cover all inter-block pairs
+        // and diagonal syrks the intra-block triangles.
+        let (n1, n2, c) = (8, 6, 2);
+        let a = seeded_matrix::<f64>(n1, n2, 1);
+        let run = syrk_2d(&a, c, CostModel::bandwidth_only());
+        let b = n1 / (c * c); // rows per block
+        let c2 = c * c;
+        let off = (c2 * (c2 - 1) / 2) as u64 * gemm_flops(b, b, n2);
+        let diag = c2 as u64 * syrk_flops(b, n2);
+        assert_eq!(run.cost.total_flops(), off + diag);
+    }
+
+    #[test]
+    fn padded_variant_matches_eq10_exactly() {
+        // Exact-division sizes: chunk = n1·n2/(c²(c+1)) with no rounding.
+        let (n1, n2, c) = (36, 8, 3); // chunks of 36·8/(9·4) = 8 words
+        let a = seeded_matrix::<f64>(n1, n2, 21);
+        let run = syrk_2d_padded(&a, c, CostModel::bandwidth_only());
+        // Correctness unchanged.
+        assert!(max_abs_diff(&run.c, &syrk_full_reference(&a)) < 1e-10);
+        // Every rank ships P−1 blocks of the fixed size: eq. (10).
+        let measured = run.cost.max_words_sent() as f64;
+        let eq10 = alg2d_predicted_cost(n1, n2, c);
+        assert!(
+            (measured - eq10).abs() < 1e-9,
+            "measured {measured} vs eq(10) {eq10}"
+        );
+        // And strictly more than the unpadded variant.
+        let lean = syrk_2d(&a, c, CostModel::bandwidth_only());
+        assert!(run.cost.max_words_sent() > lean.cost.max_words_sent());
+    }
+}

@@ -1,0 +1,138 @@
+//! Conformal distribution of the input matrix `A` over a
+//! [`TriangleBlockDist`]: row block `A_i` is split evenly among the
+//! `c + 1` processors of `Q_i` (§5.2.1). The split is over the flattened
+//! row-major elements of the block — the paper leaves the within-block
+//! distribution arbitrary as long as it is even.
+
+use super::triangle::TriangleBlockDist;
+use syrk_dense::{Matrix, Partition1D};
+
+/// Maps between global `A` coordinates and the per-rank chunks of the
+/// conformal distribution, for an `n1 × n2` input split into `c²` row
+/// blocks (near-even when `c² ∤ n1`).
+#[derive(Debug, Clone)]
+pub struct ConformalADist<'d> {
+    dist: &'d TriangleBlockDist,
+    /// Row partition of `0..n1` into `c²` row blocks.
+    pub rows: Partition1D,
+    n2: usize,
+}
+
+impl<'d> ConformalADist<'d> {
+    /// Create the conformal distribution of an `n1 × n2` matrix.
+    pub fn new(dist: &'d TriangleBlockDist, n1: usize, n2: usize) -> Self {
+        let rows = Partition1D::new(n1, dist.num_blocks());
+        ConformalADist { dist, rows, n2 }
+    }
+
+    /// Dimensions of row block `A_i`.
+    pub fn block_shape(&self, i: usize) -> (usize, usize) {
+        (self.rows.len(i), self.n2)
+    }
+
+    /// Flattened length of row block `A_i`.
+    pub fn block_len(&self, i: usize) -> usize {
+        self.rows.len(i) * self.n2
+    }
+
+    /// The element partition of `A_i` among its `c+1` owners.
+    fn chunk_partition(&self, i: usize) -> Partition1D {
+        Partition1D::new(self.block_len(i), self.dist.c() + 1)
+    }
+
+    /// Length of the chunk of `A_i` held by rank `k ∈ Q_i`.
+    pub fn chunk_len(&self, i: usize, k: usize) -> usize {
+        self.chunk_partition(i).len(self.dist.chunk_index(i, k))
+    }
+
+    /// Extract rank `k`'s chunk of `A_i` from the global matrix (used to
+    /// stage the initial distribution; costs nothing on the machine).
+    pub fn extract_chunk(&self, a: &Matrix<f64>, i: usize, k: usize) -> Vec<f64> {
+        let range = self.rows.range(i);
+        let flat: Vec<f64> = a
+            .block(range.start, 0, range.len(), self.n2)
+            .to_owned_matrix()
+            .into_vec();
+        let part = self.chunk_partition(i);
+        flat[part.range(self.dist.chunk_index(i, k))].to_vec()
+    }
+
+    /// Reassemble the full row block `A_i` from its `c+1` chunks, given in
+    /// `Q_i` order.
+    pub fn assemble_block(&self, i: usize, chunks: &[Vec<f64>]) -> Matrix<f64> {
+        assert_eq!(
+            chunks.len(),
+            self.dist.c() + 1,
+            "need one chunk per member of Q_i"
+        );
+        let part = self.chunk_partition(i);
+        let mut flat = Vec::with_capacity(self.block_len(i));
+        for (pos, ch) in chunks.iter().enumerate() {
+            assert_eq!(
+                ch.len(),
+                part.len(pos),
+                "chunk {pos} of A_{i} has the wrong length"
+            );
+            flat.extend_from_slice(ch);
+        }
+        let (r, c) = self.block_shape(i);
+        Matrix::from_vec(r, c, flat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syrk_dense::seeded_matrix;
+
+    #[test]
+    fn chunks_reassemble_every_block() {
+        let dist = TriangleBlockDist::new(3);
+        let (n1, n2) = (27, 5);
+        let a = seeded_matrix::<f64>(n1, n2, 1);
+        let ad = ConformalADist::new(&dist, n1, n2);
+        for i in 0..dist.num_blocks() {
+            let chunks: Vec<Vec<f64>> = dist
+                .q_set(i)
+                .iter()
+                .map(|&k| ad.extract_chunk(&a, i, k))
+                .collect();
+            let asm = ad.assemble_block(i, &chunks);
+            let range = ad.rows.range(i);
+            let want = a.block_owned(range.start, 0, range.len(), n2);
+            assert_eq!(asm, want, "block {i}");
+        }
+    }
+
+    #[test]
+    fn uneven_rows_still_tile() {
+        // n1 = 10 with c² = 9 row blocks: one block gets 2 rows.
+        let dist = TriangleBlockDist::new(3);
+        let ad = ConformalADist::new(&dist, 10, 4);
+        let total: usize = (0..9).map(|i| ad.block_len(i)).sum();
+        assert_eq!(total, 40);
+        assert_eq!(ad.block_shape(0), (2, 4));
+        assert_eq!(ad.block_shape(8), (1, 4));
+    }
+
+    #[test]
+    fn chunk_lengths_sum_to_block() {
+        let dist = TriangleBlockDist::new(2);
+        let ad = ConformalADist::new(&dist, 8, 7);
+        for i in 0..4 {
+            let sum: usize = dist.q_set(i).iter().map(|&k| ad.chunk_len(i, k)).sum();
+            assert_eq!(sum, ad.block_len(i), "block {i}");
+        }
+    }
+
+    #[test]
+    fn chunks_are_even_within_one() {
+        let dist = TriangleBlockDist::new(3);
+        let ad = ConformalADist::new(&dist, 18, 10);
+        for i in 0..9 {
+            let lens: Vec<usize> = dist.q_set(i).iter().map(|&k| ad.chunk_len(i, k)).collect();
+            let (mn, mx) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            assert!(mx - mn <= 1, "block {i}: {lens:?}");
+        }
+    }
+}

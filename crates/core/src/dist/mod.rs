@@ -1,0 +1,12 @@
+//! Data distributions: the Triangle Block Distribution of the symmetric
+//! output (§5.2.1) and the conformal distribution of the input.
+
+mod affine;
+mod chunks;
+mod gf;
+mod triangle;
+
+pub use affine::{affine_plane_lines, match_diagonals};
+pub use chunks::ConformalADist;
+pub use gf::Gf;
+pub use triangle::TriangleBlockDist;

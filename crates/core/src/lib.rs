@@ -1,0 +1,59 @@
+//! # syrk-core — communication-optimal parallel SYRK
+//!
+//! Executable reproduction of *Parallel Memory-Independent Communication
+//! Bounds for SYRK* (Al Daas, Ballard, Grigori, Kumar, Rouse — SPAA '23):
+//!
+//! * [`syrk_lower_bound`] — Theorem 1's three-case memory-independent
+//!   bound, plus the matching GEMM bound ([`gemm_lower_bound`]) for the
+//!   headline factor-of-2 comparison;
+//! * [`TriangleBlockDist`] — the triangle block distribution of the
+//!   symmetric output (§5.2.1, eqs. (4)–(8)), with runtime validation;
+//! * [`syrk_1d`], [`syrk_2d`], [`syrk_3d`] — Algorithms 1–3, running on
+//!   the simulated α-β-γ machine of `syrk-machine` with exact word
+//!   counting;
+//! * [`gemm_1d`]/[`gemm_2d`]/[`gemm_3d`]/[`scalapack_syrk_2d`] —
+//!   communication-optimal GEMM and a ScaLAPACK-style SYRK baseline;
+//! * [`plan`] — the §5.4 processor-grid selection.
+//!
+//! ```
+//! use syrk_core::{syrk_2d, syrk_lower_bound};
+//! use syrk_dense::{seeded_matrix, syrk_full_reference, max_abs_diff};
+//! use syrk_machine::CostModel;
+//!
+//! // Tall-skinny SYRK on P = c(c+1) = 12 simulated processors.
+//! let a = seeded_matrix::<f64>(36, 4, 0);
+//! let run = syrk_2d(&a, 3, CostModel::bandwidth_only());
+//! assert!(max_abs_diff(&run.c, &syrk_full_reference(&a)) < 1e-10);
+//!
+//! // Measured words at the busiest rank ≈ the Theorem 1 bound.
+//! let bound = syrk_lower_bound(36, 4, 12).communicated();
+//! let measured = run.cost.max_words_sent() as f64;
+//! assert!(measured < 1.3 * bound.max(1.0) + 36.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod algorithms;
+mod bounds;
+mod coverage;
+mod dist;
+mod planner;
+mod primes;
+
+pub use algorithms::{
+    assemble_c, gemm_1d, gemm_2d, gemm_3d, scalapack_syrk_2d, symm_2d, symm_reference, syr2k_1d,
+    syr2k_2d, syrk_1d, syrk_1d_with, syrk_2d, syrk_2d_limited, syrk_2d_padded, syrk_2d_traced,
+    syrk_3d, DiagBlock, LocalOutput, OffDiagBlock, SymmRunResult, SyrkRunResult,
+};
+pub use bounds::{
+    alg1d_predicted_cost, alg2d_predicted_cost, alg2d_tight_cost, alg3d_leading_cost,
+    alg3d_predicted_cost, gemm_lower_bound, syrk_effective_bound, syrk_lower_bound,
+    syrk_memory_dependent_bound, BoundCase, SyrkBound,
+};
+pub use coverage::{footprint, Footprint, IterationOwner, OneDOwner, ThreeDOwner, TwoDOwner};
+pub use dist::{affine_plane_lines, match_diagonals, ConformalADist, Gf, TriangleBlockDist};
+pub use planner::{
+    candidate_plans, constructible_orders, ideal_case3_grid, nearest_triangle_c, plan,
+    predicted_cost, Plan, RankedPlan,
+};
+pub use primes::{is_prime, largest_triangle_c_at_most, triangle_c_for, valid_grid_sizes};

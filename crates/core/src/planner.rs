@@ -1,0 +1,233 @@
+//! Optimal processor-grid selection (§5.4).
+//!
+//! Given `(n1, n2, P)`, pick the algorithm and grid that minimize the
+//! predicted bandwidth cost:
+//!
+//! * Case 1 → 1D with all `P` ranks,
+//! * Case 2 → 2D with `P = c(c+1)` (the largest prime `c` that fits),
+//! * Case 3 → 3D with `p1 = (n1/n2)^{2/3}·P^{2/3}` and
+//!   `p2 = (n2/n1)^{2/3}·P^{1/3}`, with `p1 = c(c+1)` rounded to a prime
+//!   `c` and `p2` chosen to fit.
+//!
+//! Because `c` is constrained to primes, the planner enumerates all
+//! feasible configurations and ranks them by predicted cost, rather than
+//! trusting the closed-form split alone.
+
+use crate::bounds::{
+    alg1d_predicted_cost, alg2d_tight_cost, alg3d_predicted_cost, syrk_lower_bound,
+};
+use crate::dist::Gf;
+use crate::primes::is_prime;
+
+/// A concrete algorithm + grid choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Plan {
+    /// Algorithm 1 on `p` ranks (partitions the `n2` dimension only).
+    OneD {
+        /// Number of ranks.
+        p: usize,
+    },
+    /// Algorithm 2 with `P = c(c+1)` ranks (partitions both `n1`
+    /// dimensions via the Triangle Block Distribution).
+    TwoD {
+        /// The prime grid parameter.
+        c: usize,
+    },
+    /// Algorithm 3 on a `c(c+1) × p2` grid (partitions all three
+    /// dimensions).
+    ThreeD {
+        /// The prime grid parameter of each slice.
+        c: usize,
+        /// Number of slices (the `n2`-dimension partition).
+        p2: usize,
+    },
+}
+
+impl Plan {
+    /// Ranks the plan actually uses (≤ the budget it was planned for).
+    pub fn ranks(&self) -> usize {
+        match *self {
+            Plan::OneD { p } => p,
+            Plan::TwoD { c } => c * (c + 1),
+            Plan::ThreeD { c, p2 } => c * (c + 1) * p2,
+        }
+    }
+}
+
+/// A plan with its predicted cost and the matching lower bound.
+#[derive(Debug, Clone, Copy)]
+pub struct RankedPlan {
+    /// The algorithm/grid choice.
+    pub plan: Plan,
+    /// Predicted bandwidth cost (words at the busiest rank).
+    pub predicted_cost: f64,
+    /// Theorem 1 communicated lower bound at the plan's rank count.
+    pub bound: f64,
+}
+
+/// Predicted bandwidth cost of a plan for an `(n1, n2)` instance.
+pub fn predicted_cost(n1: usize, n2: usize, plan: Plan) -> f64 {
+    match plan {
+        Plan::OneD { p } => alg1d_predicted_cost(n1, p),
+        Plan::TwoD { c } => alg2d_tight_cost(n1, n2, c),
+        Plan::ThreeD { c, p2 } => alg3d_predicted_cost(n1, n2, c, p2),
+    }
+}
+
+/// All orders `c ≤ cmax` with a known triangle block construction:
+/// primes (the paper's cyclic scheme) and supported prime powers
+/// (affine planes over GF(c)).
+pub fn constructible_orders(cmax: usize) -> Vec<usize> {
+    (2..=cmax)
+        .filter(|&c| is_prime(c) || Gf::new(c).is_some())
+        .collect()
+}
+
+/// Enumerate every feasible plan within a budget of `p` ranks.
+pub fn candidate_plans(p: usize) -> Vec<Plan> {
+    let mut plans = vec![Plan::OneD { p }];
+    for c in constructible_orders(((p as f64).sqrt() as usize) + 2) {
+        let p1 = c * (c + 1);
+        if p1 > p {
+            continue;
+        }
+        plans.push(Plan::TwoD { c });
+        for p2 in 2..=(p / p1) {
+            plans.push(Plan::ThreeD { c, p2 });
+        }
+    }
+    plans
+}
+
+/// Pick the feasible plan with the lowest predicted cost for
+/// `(n1, n2)` on at most `p` ranks.
+pub fn plan(n1: usize, n2: usize, p: usize) -> RankedPlan {
+    let best = candidate_plans(p)
+        .into_iter()
+        .map(|pl| (pl, predicted_cost(n1, n2, pl)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least the 1D plan is always feasible");
+    let bound = syrk_lower_bound(n1, n2, best.0.ranks()).communicated();
+    RankedPlan {
+        plan: best.0,
+        predicted_cost: best.1,
+        bound,
+    }
+}
+
+/// The paper's closed-form §5.4 grid for Case 3 (before prime rounding):
+/// `p1 = (n1/n2)^{2/3}·P^{2/3}`, `p2 = (n2/n1)^{2/3}·P^{1/3}`.
+pub fn ideal_case3_grid(n1: usize, n2: usize, p: usize) -> (f64, f64) {
+    let (n1, n2, p) = (n1 as f64, n2 as f64, p as f64);
+    (
+        (n1 / n2).powf(2.0 / 3.0) * p.powf(2.0 / 3.0),
+        (n2 / n1).powf(2.0 / 3.0) * p.cbrt(),
+    )
+}
+
+/// The constructible `c` whose `c(c+1)` is nearest to a real target from
+/// below or above, restricted to `c(c+1) ≤ cap`.
+pub fn nearest_triangle_c(target: f64, cap: usize) -> Option<usize> {
+    let mut best: Option<(f64, usize)> = None;
+    for c in constructible_orders((cap as f64).sqrt() as usize + 1) {
+        if c * (c + 1) > cap {
+            continue;
+        }
+        let d = ((c * (c + 1)) as f64 - target).abs();
+        if best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, c));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case1_shapes_choose_1d() {
+        // Short-wide A, few processors: Case 1 ⇒ 1D.
+        let rp = plan(100, 100_000, 8);
+        assert_eq!(rp.plan, Plan::OneD { p: 8 });
+        assert!(rp.predicted_cost >= rp.bound * 0.9);
+    }
+
+    #[test]
+    fn case2_shapes_choose_2d() {
+        // Tall-skinny A: Case 2 ⇒ 2D with the largest prime grid ≤ P.
+        let rp = plan(100_000, 10, 30);
+        assert_eq!(rp.plan, Plan::TwoD { c: 5 });
+    }
+
+    #[test]
+    fn case3_shapes_choose_3d() {
+        // Square A with many processors: Case 3 ⇒ 3D.
+        let rp = plan(1000, 1000, 120);
+        match rp.plan {
+            Plan::ThreeD { c, p2 } => {
+                assert!(c * (c + 1) * p2 <= 120);
+                assert!(p2 >= 2);
+            }
+            other => panic!("expected 3D, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ideal_grid_matches_cost_balance() {
+        // With the ideal grid the two 3D cost terms are equal:
+        // n1n2/(√p1·p2) = n1²/(2p1) ⟺ p1^{1/2}/p2 · n2/n1 = 1/2 · ... —
+        // verify numerically instead: plug the ideal grid into the
+        // leading cost and compare to (3/2)(n1(n1−1)n2/P)^{2/3}.
+        let (n1, n2, p) = (4096, 1024, 4096);
+        let (p1, p2) = ideal_case3_grid(n1, n2, p);
+        assert!((p1 * p2 - p as f64).abs() < 1e-6 * p as f64);
+        let cost = (n1 * n2) as f64 / (p1.sqrt() * p2) + (n1 * n1) as f64 / (2.0 * p1);
+        let w = crate::bounds::syrk_lower_bound(n1, n2, p).w;
+        assert!((cost / w - 1.0).abs() < 0.01, "cost {cost} vs W {w}");
+    }
+
+    #[test]
+    fn plan_ranks_never_exceed_budget() {
+        for &(n1, n2, p) in &[(50, 5000, 13), (5000, 50, 47), (300, 300, 97), (2, 2, 1)] {
+            let rp = plan(n1, n2, p);
+            assert!(rp.plan.ranks() <= p, "({n1},{n2},{p}) -> {:?}", rp.plan);
+        }
+    }
+
+    #[test]
+    fn candidates_include_all_three_kinds() {
+        let plans = candidate_plans(60);
+        assert!(plans.contains(&Plan::OneD { p: 60 }));
+        assert!(plans.contains(&Plan::TwoD { c: 5 }));
+        assert!(plans.contains(&Plan::ThreeD { c: 2, p2: 10 }));
+        assert!(plans.contains(&Plan::ThreeD { c: 3, p2: 5 }));
+        // 7·8 = 56 ≤ 60 but leaves no room for p2 ≥ 2.
+        assert!(plans.contains(&Plan::TwoD { c: 7 }));
+        assert!(!plans.iter().any(|p| matches!(p, Plan::ThreeD { c: 7, .. })));
+    }
+
+    #[test]
+    fn nearest_prime_grid() {
+        assert_eq!(nearest_triangle_c(12.0, 1000), Some(3));
+        assert_eq!(nearest_triangle_c(40.0, 1000), Some(5)); // 30 vs 56
+        assert_eq!(nearest_triangle_c(50.0, 1000), Some(7)); // 56 beats 30
+        assert_eq!(nearest_triangle_c(100.0, 30), Some(5)); // capped
+        assert_eq!(nearest_triangle_c(100.0, 5), None);
+    }
+
+    #[test]
+    fn crossover_moves_from_1d_to_3d_with_p() {
+        // Fixed shape; as P grows past n2/√(n1(n1−1)) the best plan should
+        // switch from 1D to 3D (E8).
+        let (n1, n2) = (64, 4096);
+        let small = plan(n1, n2, 16);
+        assert!(matches!(small.plan, Plan::OneD { .. }), "{:?}", small.plan);
+        let large = plan(n1, n2, 4000);
+        assert!(
+            matches!(large.plan, Plan::ThreeD { .. }),
+            "{:?}",
+            large.plan
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! 1-D block partitions with remainder handling.
+
+use std::ops::Range;
+
+/// An even partition of `0..n` into `parts` contiguous blocks whose sizes
+/// differ by at most one (the first `n mod parts` blocks get the extra
+/// element) — the distribution used for "evenly divided" data in the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition1D {
+    n: usize,
+    parts: usize,
+}
+
+impl Partition1D {
+    /// Partition `0..n` into `parts` blocks.
+    pub fn new(n: usize, parts: usize) -> Self {
+        assert!(parts >= 1, "a partition needs at least one part");
+        Partition1D { n, parts }
+    }
+
+    /// Total length being partitioned.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of blocks.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// The index range of block `q`.
+    pub fn range(&self, q: usize) -> Range<usize> {
+        assert!(q < self.parts, "block {q} out of {} parts", self.parts);
+        let base = self.n / self.parts;
+        let extra = self.n % self.parts;
+        let start = q * base + q.min(extra);
+        let len = base + usize::from(q < extra);
+        start..start + len
+    }
+
+    /// Length of block `q`.
+    pub fn len(&self, q: usize) -> usize {
+        self.range(q).len()
+    }
+
+    /// Whether the partitioned range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The block containing index `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        assert!(i < self.n, "index {i} out of range {}", self.n);
+        let base = self.n / self.parts;
+        let extra = self.n % self.parts;
+        let big = (base + 1) * extra; // total elements in the larger blocks
+        if i < big {
+            i / (base + 1)
+        } else {
+            extra + (i - big) / base
+        }
+    }
+
+    /// All block sizes, indexed by block.
+    pub fn lens(&self) -> Vec<usize> {
+        (0..self.parts).map(|q| self.len(q)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let p = Partition1D::new(12, 4);
+        assert_eq!(p.range(0), 0..3);
+        assert_eq!(p.range(3), 9..12);
+        assert!(p.lens().iter().all(|&l| l == 3));
+    }
+
+    #[test]
+    fn remainder_goes_to_leading_blocks() {
+        let p = Partition1D::new(10, 4);
+        assert_eq!(p.lens(), vec![3, 3, 2, 2]);
+        assert_eq!(p.range(1), 3..6);
+        assert_eq!(p.range(2), 6..8);
+    }
+
+    #[test]
+    fn ranges_tile_the_interval() {
+        for n in [0, 1, 5, 17, 100] {
+            for parts in [1, 2, 3, 7, 16] {
+                let p = Partition1D::new(n, parts);
+                let mut next = 0;
+                for q in 0..parts {
+                    let r = p.range(q);
+                    assert_eq!(r.start, next, "n={n} parts={parts} q={q}");
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn owner_inverts_range() {
+        for n in [1, 9, 30] {
+            for parts in [1, 4, 7] {
+                let p = Partition1D::new(n, parts);
+                for i in 0..n {
+                    let q = p.owner(i);
+                    assert!(p.range(q).contains(&i), "n={n} parts={parts} i={i} q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_parts_than_elements() {
+        let p = Partition1D::new(2, 5);
+        assert_eq!(p.lens(), vec![1, 1, 0, 0, 0]);
+        assert_eq!(p.owner(1), 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! Sequential Cholesky factorization and triangular solves.
+//!
+//! SYRK "gets its name from its use as a subroutine within algorithms for
+//! computing the Cholesky decomposition" (§1); these small local kernels
+//! close the loop for the CholeskyQR / normal-equations examples — the
+//! distributed SYRK produces the Gram matrix, these consume it.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Errors from the Cholesky factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CholeskyError {
+    /// The matrix is not (numerically) positive definite: the pivot at
+    /// the given index was non-positive.
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+        /// The offending pivot value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholeskyError::NotPositiveDefinite { pivot, value } => {
+                write!(f, "matrix not positive definite: pivot {pivot} = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Cholesky factorization `G = L·Lᵀ` of a symmetric positive-definite
+/// matrix (only the lower triangle of `G` is read). Returns lower `L`.
+///
+/// ```
+/// use syrk_dense::{Matrix, cholesky};
+/// let g = Matrix::from_vec(2, 2, vec![4.0, 2.0, 2.0, 10.0]);
+/// let l = cholesky(&g).unwrap();
+/// assert_eq!(l[(0, 0)], 2.0);
+/// assert_eq!(l[(1, 0)], 1.0);
+/// assert_eq!(l[(1, 1)], 3.0);
+/// ```
+pub fn cholesky<T: Scalar>(g: &Matrix<T>) -> Result<Matrix<T>, CholeskyError> {
+    let n = g.rows();
+    assert_eq!(g.cols(), n, "cholesky needs a square matrix");
+    let mut l = Matrix::<T>::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = g[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if s.to_f64() <= 0.0 {
+                    return Err(CholeskyError::NotPositiveDefinite {
+                        pivot: i,
+                        value: s.to_f64(),
+                    });
+                }
+                l[(i, j)] = T::from_f64(s.to_f64().sqrt());
+            } else {
+                l[(i, j)] = s / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solve `X·Lᵀ = B` for `X` given lower-triangular `L` (i.e. multiply by
+/// `R⁻¹` on the right, `R = Lᵀ`). Used by CholeskyQR: `Q = M·R⁻¹`.
+pub fn trsm_right_transpose<T: Scalar>(b: &Matrix<T>, l: &Matrix<T>) -> Matrix<T> {
+    let (m, n) = b.shape();
+    assert_eq!(l.shape(), (n, n), "trsm: L must be n×n with n = B.cols()");
+    let mut x = b.clone();
+    for j in 0..n {
+        for row in 0..m {
+            let mut s = x[(row, j)];
+            for k in 0..j {
+                s -= x[(row, k)] * l[(j, k)]; // R[k][j] = L[j][k]
+            }
+            x[(row, j)] = s / l[(j, j)];
+        }
+    }
+    x
+}
+
+/// Solve `Lᵀ·X = B` (back substitution) for each column of `B`. Completes
+/// the SPD solve `G·x = b` after [`trsm_left_lower`]: `L·y = b`, then
+/// `Lᵀ·x = y`.
+pub fn trsm_left_transpose<T: Scalar>(l: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let n = l.rows();
+    assert_eq!(l.cols(), n);
+    assert_eq!(b.rows(), n, "trsm: B must have n rows");
+    let mut x = b.clone();
+    for i in (0..n).rev() {
+        for col in 0..b.cols() {
+            let mut s = x[(i, col)];
+            for k in i + 1..n {
+                s -= l[(k, i)] * x[(k, col)]; // (Lᵀ)[i][k] = L[k][i]
+            }
+            x[(i, col)] = s / l[(i, i)];
+        }
+    }
+    x
+}
+
+/// Solve `L·y = b` (forward substitution) for each column of `B`.
+pub fn trsm_left_lower<T: Scalar>(l: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let n = l.rows();
+    assert_eq!(l.cols(), n);
+    assert_eq!(b.rows(), n, "trsm: B must have n rows");
+    let mut x = b.clone();
+    for i in 0..n {
+        for col in 0..b.cols() {
+            let mut s = x[(i, col)];
+            for k in 0..i {
+                s -= l[(i, k)] * x[(k, col)];
+            }
+            x[(i, col)] = s / l[(i, i)];
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{mul_nn, mul_nt};
+    use crate::norms::max_abs_diff;
+    use crate::rng::seeded_matrix;
+    use crate::syrk::syrk_full_reference;
+
+    /// A random SPD matrix: G = AAᵀ + n·I.
+    fn spd(n: usize, seed: u64) -> Matrix<f64> {
+        let a = seeded_matrix::<f64>(n, n, seed);
+        let mut g = syrk_full_reference(&a);
+        for i in 0..n {
+            g[(i, i)] += n as f64;
+        }
+        g
+    }
+
+    #[test]
+    fn factorization_reconstructs() {
+        for n in [1usize, 2, 5, 16, 33] {
+            let g = spd(n, n as u64);
+            let l = cholesky(&g).expect("SPD must factor");
+            let llt = mul_nt(&l, &l);
+            assert!(max_abs_diff(&llt, &g) < 1e-9 * n as f64, "n={n}");
+            // L is lower triangular with positive diagonal.
+            for i in 0..n {
+                assert!(l[(i, i)] > 0.0);
+                for j in i + 1..n {
+                    assert_eq!(l[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_errors() {
+        let mut g = Matrix::<f64>::zeros(2, 2);
+        g[(0, 0)] = 1.0;
+        g[(1, 1)] = -1.0;
+        match cholesky(&g) {
+            Err(CholeskyError::NotPositiveDefinite { pivot: 1, value }) => {
+                assert!(value <= 0.0)
+            }
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trsm_right_inverts_r() {
+        let g = spd(6, 3);
+        let l = cholesky(&g).unwrap();
+        let b = seeded_matrix::<f64>(4, 6, 8);
+        let x = trsm_right_transpose(&b, &l);
+        // X·Lᵀ must reproduce B.
+        let xr = mul_nn(&x, &l.transpose());
+        assert!(max_abs_diff(&xr, &b) < 1e-10);
+    }
+
+    #[test]
+    fn trsm_left_inverts_l() {
+        let g = spd(5, 4);
+        let l = cholesky(&g).unwrap();
+        let b = seeded_matrix::<f64>(5, 3, 9);
+        let y = trsm_left_lower(&l, &b);
+        let ly = mul_nn(&l, &y);
+        assert!(max_abs_diff(&ly, &b) < 1e-10);
+    }
+
+    #[test]
+    fn normal_equations_solve() {
+        // Least squares via the normal equations — the paper's §1
+        // motivating application: min ‖Mx − b‖ with G = MᵀM from SYRK.
+        let (m, n) = (40usize, 6usize);
+        let mm = {
+            let mut t = seeded_matrix::<f64>(m, n, 5);
+            for i in 0..n {
+                t[(i, i)] += 3.0;
+            }
+            t
+        };
+        // Build b = M·x_true.
+        let x_true = seeded_matrix::<f64>(n, 1, 6);
+        let b = mul_nn(&mm, &x_true);
+        // G = MᵀM, rhs = Mᵀb; solve G x = rhs via L Lᵀ.
+        let g = syrk_full_reference(&mm.transpose());
+        let rhs = mul_nn(&mm.transpose(), &b);
+        let l = cholesky(&g).unwrap();
+        let y = trsm_left_lower(&l, &rhs);
+        let x = trsm_left_transpose(&l, &y);
+        assert!(max_abs_diff(&x, &x_true) < 1e-8);
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = CholeskyError::NotPositiveDefinite {
+            pivot: 3,
+            value: -0.5,
+        };
+        assert!(e.to_string().contains("pivot 3"));
+    }
+}

@@ -1,0 +1,252 @@
+//! General matrix multiplication kernels.
+//!
+//! Two operation shapes are provided, both accumulating into `C`:
+//!
+//! * [`gemm_nn`]: `C += A·B`     (`A: m×k`, `B: k×n`, `C: m×n`)
+//! * [`gemm_nt`]: `C += A·Bᵀ`    (`A: m×k`, `B: n×k`, `C: m×n`)
+//!
+//! `gemm_nt` is the shape the SYRK algorithms use for off-diagonal blocks
+//! (`C_ij = A_i · A_jᵀ`, Alg. 2 line 16). Each kernel exists as a simple
+//! reference implementation and a cache-blocked, rayon-parallel variant;
+//! the blocked variants are bit-for-bit order-compatible per row so results
+//! are deterministic.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// Flops performed by `C += A·B` with `A: m×k`, `B: k×n`
+/// (a multiply and an add per inner iteration).
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * (m as u64) * (n as u64) * (k as u64)
+}
+
+/// Reference `C += A·B`. Row-major ikj loop order.
+pub fn gemm_nn_ref<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
+    let (m, k) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "gemm_nn: inner dimensions {k} vs {k2}");
+    assert_eq!(c.shape(), (m, n), "gemm_nn: output shape mismatch");
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[(i, p)];
+            let brow = b.row(p);
+            let crow = c.row_mut(i);
+            for (cj, &bj) in crow.iter_mut().zip(brow) {
+                *cj = aip.mul_add(bj, *cj);
+            }
+        }
+    }
+}
+
+/// Reference `C += A·Bᵀ`. Dot products of rows.
+pub fn gemm_nt_ref<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
+    let (m, k) = a.shape();
+    let (n, k2) = b.shape();
+    assert_eq!(k, k2, "gemm_nt: inner dimensions {k} vs {k2}");
+    assert_eq!(c.shape(), (m, n), "gemm_nt: output shape mismatch");
+    for i in 0..m {
+        let arow = a.row(i);
+        for j in 0..n {
+            let brow = b.row(j);
+            let mut acc = T::zero();
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc = x.mul_add(y, acc);
+            }
+            c[(i, j)] += acc;
+        }
+    }
+}
+
+/// Tile edge used by the blocked kernels. Chosen so three f64 tiles fit
+/// comfortably in L1 (3·64²·8 B ≈ 96 KiB is too big for L1 but fine for
+/// L2; 64 empirically balances loop overhead against reuse here).
+const TILE: usize = 64;
+
+/// Blocked, rayon-parallel `C += A·Bᵀ`.
+///
+/// Parallelism is over disjoint row tiles of `C`, so the accumulation
+/// order within each row is identical to [`gemm_nt_ref`]'s per-tile order.
+pub fn gemm_nt<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
+    let (m, k) = a.shape();
+    let (n, k2) = b.shape();
+    assert_eq!(k, k2, "gemm_nt: inner dimensions {k} vs {k2}");
+    assert_eq!(c.shape(), (m, n), "gemm_nt: output shape mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let cols = c.cols();
+    c.as_mut_slice()
+        .par_chunks_mut(TILE * cols)
+        .enumerate()
+        .for_each(|(ti, ctile)| {
+            let i0 = ti * TILE;
+            let rows = TILE.min(m - i0);
+            for j0 in (0..n).step_by(TILE) {
+                let jb = TILE.min(n - j0);
+                for p0 in (0..k).step_by(TILE) {
+                    let pb = TILE.min(k - p0);
+                    for i in 0..rows {
+                        let arow = &a.row(i0 + i)[p0..p0 + pb];
+                        let crow = &mut ctile[i * cols + j0..i * cols + j0 + jb];
+                        for (j, cj) in crow.iter_mut().enumerate() {
+                            let brow = &b.row(j0 + j)[p0..p0 + pb];
+                            let mut acc = T::zero();
+                            for (&x, &y) in arow.iter().zip(brow) {
+                                acc = x.mul_add(y, acc);
+                            }
+                            *cj += acc;
+                        }
+                    }
+                }
+            }
+        });
+}
+
+/// Blocked, rayon-parallel `C += A·B`.
+pub fn gemm_nn<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
+    let (m, k) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "gemm_nn: inner dimensions {k} vs {k2}");
+    assert_eq!(c.shape(), (m, n), "gemm_nn: output shape mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let cols = c.cols();
+    c.as_mut_slice()
+        .par_chunks_mut(TILE * cols)
+        .enumerate()
+        .for_each(|(ti, ctile)| {
+            let i0 = ti * TILE;
+            let rows = TILE.min(m - i0);
+            for p0 in (0..k).step_by(TILE) {
+                let pb = TILE.min(k - p0);
+                for i in 0..rows {
+                    for p in 0..pb {
+                        let aip = a[(i0 + i, p0 + p)];
+                        let brow = b.row(p0 + p);
+                        let crow = &mut ctile[i * cols..i * cols + n];
+                        for (cj, &bj) in crow.iter_mut().zip(brow) {
+                            *cj = aip.mul_add(bj, *cj);
+                        }
+                    }
+                }
+            }
+        });
+}
+
+/// Convenience: `A·Bᵀ` into a fresh matrix.
+pub fn mul_nt<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    gemm_nt(&mut c, a, b);
+    c
+}
+
+/// Convenience: `A·B` into a fresh matrix.
+pub fn mul_nn<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_nn(&mut c, a, b);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_matrix;
+
+    fn assert_close(a: &Matrix<f64>, b: &Matrix<f64>, tol: f64) {
+        assert_eq!(a.shape(), b.shape());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert!(
+                    (a[(i, j)] - b[(i, j)]).abs() <= tol,
+                    "mismatch at ({i},{j}): {} vs {}",
+                    a[(i, j)],
+                    b[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nn_small_known() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = mul_nn(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gemm_nt_equals_nn_with_transpose() {
+        let a = seeded_matrix(13, 9, 1);
+        let b = seeded_matrix(7, 9, 2);
+        let via_nt = mul_nt(&a, &b);
+        let via_nn = mul_nn(&a, &b.transpose());
+        assert_close(&via_nt, &via_nn, 1e-12);
+    }
+
+    #[test]
+    fn blocked_matches_reference_across_shapes() {
+        for (m, n, k) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (64, 64, 64),
+            (65, 130, 33),
+            (100, 1, 200),
+        ] {
+            let a = seeded_matrix(m, k, 10 + m as u64);
+            let b = seeded_matrix(n, k, 20 + n as u64);
+            let mut c_ref = Matrix::zeros(m, n);
+            gemm_nt_ref(&mut c_ref, &a, &b);
+            let c_blk = mul_nt(&a, &b);
+            assert_close(&c_blk, &c_ref, 1e-10);
+
+            let bt = b.transpose();
+            let mut c2_ref = Matrix::zeros(m, n);
+            gemm_nn_ref(&mut c2_ref, &a, &bt);
+            let c2_blk = mul_nn(&a, &bt);
+            assert_close(&c2_blk, &c2_ref, 1e-10);
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates_into_c() {
+        let a = seeded_matrix(4, 3, 5);
+        let b = seeded_matrix(6, 3, 6);
+        let mut c = Matrix::from_fn(4, 6, |i, j| (i + j) as f64);
+        let base = c.clone();
+        gemm_nt(&mut c, &a, &b);
+        let mut expect = mul_nt(&a, &b);
+        expect.add_assign(&base);
+        assert_close(&c, &expect, 1e-12);
+    }
+
+    #[test]
+    fn degenerate_dims_are_noops() {
+        let a = Matrix::<f64>::zeros(0, 5);
+        let b = Matrix::<f64>::zeros(3, 5);
+        let mut c = Matrix::<f64>::zeros(0, 3);
+        gemm_nt(&mut c, &a, &b); // must not panic
+
+        let a = Matrix::<f64>::zeros(2, 0);
+        let b = Matrix::<f64>::zeros(3, 0);
+        let mut c = Matrix::from_fn(2, 3, |_, _| 1.0);
+        gemm_nt(&mut c, &a, &b);
+        assert_eq!(c[(1, 2)], 1.0, "k = 0 leaves C unchanged");
+    }
+
+    #[test]
+    fn flop_count_formula() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+        assert_eq!(gemm_flops(0, 3, 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_inner_dims_panic() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(2, 4);
+        let mut c = Matrix::<f64>::zeros(2, 2);
+        gemm_nt(&mut c, &a, &b);
+    }
+}

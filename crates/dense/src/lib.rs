@@ -1,0 +1,49 @@
+//! # syrk-dense — dense linear algebra substrate
+//!
+//! Matrices, packed symmetric storage, and the local GEMM/SYRK kernels the
+//! distributed SYRK algorithms of the SPAA '23 paper run on each rank.
+//! Everything is written from scratch (no BLAS dependency): correctness is
+//! what matters for the reproduction; kernels are cache-blocked and
+//! rayon-parallel so the experiment sweeps stay fast.
+//!
+//! ```
+//! use syrk_dense::{seeded_matrix, syrk_full_reference, mul_nt, max_abs_diff};
+//!
+//! let a = seeded_matrix::<f64>(6, 4, 0);
+//! let c = syrk_full_reference(&a);      // C = A·Aᵀ, symmetric
+//! let g = mul_nt(&a, &a);               // same thing via GEMM
+//! assert!(max_abs_diff(&c, &g) < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+mod blocking;
+mod cholesky;
+mod gemm;
+mod matrix;
+mod norms;
+mod packed;
+mod rng;
+mod scalar;
+mod syr2k;
+mod syrk;
+mod view;
+
+pub use blocking::Partition1D;
+pub use cholesky::{
+    cholesky, trsm_left_lower, trsm_left_transpose, trsm_right_transpose, CholeskyError,
+};
+pub use gemm::{gemm_flops, gemm_nn, gemm_nn_ref, gemm_nt, gemm_nt_ref, mul_nn, mul_nt};
+pub use matrix::Matrix;
+pub use norms::{frobenius, max_abs_diff, max_abs_diff_lower, syrk_tolerance};
+pub use packed::{Diag, PackedLower};
+pub use rng::{seeded_int_matrix, seeded_matrix};
+pub use scalar::Scalar;
+pub use syr2k::{
+    syr2k_flops, syr2k_full_reference, syr2k_lower_ref, syr2k_packed, syr2k_packed_new,
+};
+pub use syrk::{
+    syrk_flops, syrk_full_reference, syrk_lower_ref, syrk_packed, syrk_packed_new,
+    syrk_strict_flops,
+};
+pub use view::{MatrixView, MatrixViewMut};

@@ -1,0 +1,257 @@
+//! Packed storage for the lower triangle of a symmetric matrix.
+//!
+//! SYRK's output `C = A·Aᵀ` is symmetric, so algorithms store and
+//! communicate only its lower triangle. The paper's bounds distinguish the
+//! *strict* lower triangle (`n(n−1)/2` entries, Theorem 1) from the
+//! inclusive one (`n(n+1)/2` entries, communicated by Algorithm 1).
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Which diagonal convention a packed triangle uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Diag {
+    /// Entries with `j ≤ i` are stored: `n(n+1)/2` elements.
+    Inclusive,
+    /// Entries with `j < i` are stored: `n(n−1)/2` elements.
+    Strict,
+}
+
+impl Diag {
+    /// Number of packed entries for an `n × n` triangle.
+    pub fn packed_len(self, n: usize) -> usize {
+        match self {
+            Diag::Inclusive => n * (n + 1) / 2,
+            Diag::Strict => n * (n.saturating_sub(1)) / 2,
+        }
+    }
+}
+
+/// The lower triangle of an `n × n` symmetric matrix in packed row-major
+/// order: row `i` contributes entries `(i,0), (i,1), …` up to the diagonal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedLower<T = f64> {
+    n: usize,
+    diag: Diag,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> PackedLower<T> {
+    /// A packed triangle of zeros.
+    pub fn zeros(n: usize, diag: Diag) -> Self {
+        PackedLower {
+            n,
+            diag,
+            data: vec![T::zero(); diag.packed_len(n)],
+        }
+    }
+
+    /// Wrap an existing packed buffer.
+    pub fn from_vec(n: usize, diag: Diag, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            diag.packed_len(n),
+            "packed buffer length mismatch"
+        );
+        PackedLower { n, diag, data }
+    }
+
+    /// Pack the lower triangle of a square matrix.
+    pub fn from_matrix(m: &Matrix<T>, diag: Diag) -> Self {
+        assert_eq!(m.rows(), m.cols(), "packed triangle needs a square matrix");
+        let n = m.rows();
+        let mut data = Vec::with_capacity(diag.packed_len(n));
+        for i in 0..n {
+            let jmax = match diag {
+                Diag::Inclusive => i + 1,
+                Diag::Strict => i,
+            };
+            for j in 0..jmax {
+                data.push(m[(i, j)]);
+            }
+        }
+        PackedLower { n, diag, data }
+    }
+
+    /// Matrix dimension `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Diagonal convention.
+    pub fn diag(&self) -> Diag {
+        self.diag
+    }
+
+    /// Number of packed entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether there are no packed entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Packed buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Packed buffer, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the packed buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Index of entry `(i, j)` in the packed buffer. Requires `j ≤ i`
+    /// (inclusive) or `j < i` (strict).
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize) -> usize {
+        match self.diag {
+            Diag::Inclusive => {
+                debug_assert!(j <= i && i < self.n);
+                i * (i + 1) / 2 + j
+            }
+            Diag::Strict => {
+                debug_assert!(j < i && i < self.n);
+                i * (i - 1) / 2 + j
+            }
+        }
+    }
+
+    /// Entry `(i, j)` of the triangle.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        self.data[self.idx(i, j)]
+    }
+
+    /// Set entry `(i, j)` of the triangle.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        let k = self.idx(i, j);
+        self.data[k] = v;
+    }
+
+    /// Add `v` into entry `(i, j)`.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: T) {
+        let k = self.idx(i, j);
+        self.data[k] += v;
+    }
+
+    /// Expand to a full symmetric matrix (the strict variant leaves the
+    /// diagonal zero).
+    pub fn to_full_symmetric(&self) -> Matrix<T> {
+        let mut m = Matrix::zeros(self.n, self.n);
+        for i in 0..self.n {
+            let jmax = match self.diag {
+                Diag::Inclusive => i + 1,
+                Diag::Strict => i,
+            };
+            for j in 0..jmax {
+                let v = self.get(i, j);
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        m
+    }
+
+    /// `self += other` element-wise.
+    pub fn add_assign(&mut self, other: &PackedLower<T>) {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        assert_eq!(self.diag, other.diag, "diagonal convention mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_lengths() {
+        assert_eq!(Diag::Inclusive.packed_len(4), 10);
+        assert_eq!(Diag::Strict.packed_len(4), 6);
+        assert_eq!(Diag::Strict.packed_len(0), 0);
+        assert_eq!(Diag::Strict.packed_len(1), 0);
+        assert_eq!(Diag::Inclusive.packed_len(1), 1);
+    }
+
+    #[test]
+    fn idx_is_dense_and_ordered() {
+        let p = PackedLower::<f64>::zeros(5, Diag::Inclusive);
+        let mut expect = 0;
+        for i in 0..5 {
+            for j in 0..=i {
+                assert_eq!(p.idx(i, j), expect);
+                expect += 1;
+            }
+        }
+        assert_eq!(expect, p.len());
+
+        let s = PackedLower::<f64>::zeros(5, Diag::Strict);
+        let mut expect = 0;
+        for i in 0..5 {
+            for j in 0..i {
+                assert_eq!(s.idx(i, j), expect);
+                expect += 1;
+            }
+        }
+        assert_eq!(expect, s.len());
+    }
+
+    #[test]
+    fn matrix_roundtrip_inclusive() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let p = PackedLower::from_matrix(&m, Diag::Inclusive);
+        let full = p.to_full_symmetric();
+        for i in 0..4 {
+            for j in 0..=i {
+                assert_eq!(full[(i, j)], m[(i, j)]);
+                assert_eq!(full[(j, i)], m[(i, j)]); // symmetrized
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_roundtrip_strict_zeroes_diagonal() {
+        let m = Matrix::from_fn(3, 3, |i, j| (1 + i + j) as f64);
+        let p = PackedLower::from_matrix(&m, Diag::Strict);
+        let full = p.to_full_symmetric();
+        assert_eq!(full[(0, 0)], 0.0);
+        assert_eq!(full[(2, 2)], 0.0);
+        assert_eq!(full[(2, 1)], m[(2, 1)]);
+        assert_eq!(full[(1, 2)], m[(2, 1)]);
+    }
+
+    #[test]
+    fn set_get_add() {
+        let mut p = PackedLower::<f64>::zeros(3, Diag::Strict);
+        p.set(2, 1, 5.0);
+        p.add(2, 1, 1.5);
+        assert_eq!(p.get(2, 1), 6.5);
+        assert_eq!(p.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn add_assign_sums() {
+        let mut a = PackedLower::from_vec(3, Diag::Strict, vec![1.0, 2.0, 3.0]);
+        let b = PackedLower::from_vec(3, Diag::Strict, vec![10.0, 20.0, 30.0]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bad_packed_len_panics() {
+        let _ = PackedLower::from_vec(3, Diag::Strict, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Deterministic random matrix generation for tests and experiments.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use rand::distributions::{Distribution, Uniform};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A `rows × cols` matrix with entries uniform in `[-1, 1)`, generated
+/// deterministically from `seed` (same seed ⇒ same matrix, on any
+/// platform).
+pub fn seeded_matrix<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Matrix<T> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let dist = Uniform::new(-1.0f64, 1.0);
+    Matrix::from_fn(rows, cols, |_, _| T::from_f64(dist.sample(&mut rng)))
+}
+
+/// Deterministic integer-valued matrix with entries in `[0, modulus)`.
+/// Integer inputs make distributed results *exactly* equal to the
+/// sequential reference (no floating-point reduction-order noise), which
+/// lets the tests assert equality instead of tolerances.
+pub fn seeded_int_matrix<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    modulus: u64,
+    seed: u64,
+) -> Matrix<T> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let dist = Uniform::new(0, modulus);
+    Matrix::from_fn(rows, cols, |_, _| T::from_f64(dist.sample(&mut rng) as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_matrix() {
+        let a: Matrix<f64> = seeded_matrix(5, 7, 99);
+        let b: Matrix<f64> = seeded_matrix(5, 7, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Matrix<f64> = seeded_matrix(5, 7, 1);
+        let b: Matrix<f64> = seeded_matrix(5, 7, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn entries_in_range() {
+        let a: Matrix<f64> = seeded_matrix(20, 20, 3);
+        assert!(a.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+        let b: Matrix<f64> = seeded_int_matrix(20, 20, 8, 4);
+        assert!(b
+            .as_slice()
+            .iter()
+            .all(|&x| x.fract() == 0.0 && (0.0..8.0).contains(&x)));
+    }
+}

@@ -1,0 +1,108 @@
+//! Scalar element types for dense kernels.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A floating-point scalar usable in the dense kernels.
+///
+/// Implemented for `f32` and `f64`; the distributed algorithms are
+/// instantiated with `f64` (one `f64` = one machine word in the cost
+/// accounting of `syrk-machine`).
+pub trait Scalar:
+    Copy
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Lossy conversion from `f64` (used for test data generation).
+    fn from_f64(x: f64) -> Self;
+    /// Lossy conversion to `f64` (used for error norms).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Fused `self * a + b` (may or may not be fused in hardware).
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Machine epsilon of the type.
+    fn epsilon() -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            #[inline(always)]
+            fn zero() -> Self {
+                0.0
+            }
+            #[inline(always)]
+            fn one() -> Self {
+                1.0
+            }
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn epsilon() -> Self {
+                <$t>::EPSILON
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_ops<T: Scalar>() -> T {
+        let two = T::one() + T::one();
+        let m = two * two - T::one(); // 3
+        m.mul_add(two, T::one()) // 7
+    }
+
+    #[test]
+    fn scalar_ops_f64() {
+        assert_eq!(generic_ops::<f64>(), 7.0);
+        assert_eq!((-3.5f64).abs(), 3.5);
+        assert_eq!(f64::from_f64(2.5), 2.5);
+    }
+
+    #[test]
+    fn scalar_ops_f32() {
+        assert_eq!(generic_ops::<f32>(), 7.0);
+        assert_eq!(f32::from_f64(0.5).to_f64(), 0.5);
+    }
+}

@@ -1,0 +1,245 @@
+//! Local symmetric rank-k update kernels: `C += A·Aᵀ` (lower triangle).
+//!
+//! These are the *sequential building blocks* the distributed algorithms
+//! call on each rank (`Local-SYRK` in Algorithms 1–3). The symmetry of the
+//! output halves the flops relative to GEMM: computing the inclusive lower
+//! triangle of `A·Aᵀ` for `A: n×k` takes `n(n+1)·k` flops instead of
+//! `2n²k`.
+
+use crate::matrix::Matrix;
+use crate::packed::{Diag, PackedLower};
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// Flops to compute the inclusive lower triangle of `A·Aᵀ`, `A: n×k`
+/// (one multiply + one add per iteration point; `n(n+1)/2 · 2k`).
+pub fn syrk_flops(n: usize, k: usize) -> u64 {
+    (n as u64) * (n as u64 + 1) * (k as u64)
+}
+
+/// Flops to compute only the strict lower triangle (`n(n−1)/2 · 2k`),
+/// the quantity Lemma 5 and Theorem 1 reason about.
+pub fn syrk_strict_flops(n: usize, k: usize) -> u64 {
+    (n as u64) * (n as u64).saturating_sub(1) * (k as u64)
+}
+
+/// Reference kernel: dense `C += A·Aᵀ` writing only entries with `j ≤ i`.
+/// The strict upper triangle of `C` is left untouched.
+pub fn syrk_lower_ref<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>) {
+    let (n, _k) = a.shape();
+    assert_eq!(c.shape(), (n, n), "syrk: C must be n×n");
+    for i in 0..n {
+        let arow = a.row(i);
+        for j in 0..=i.min(n - 1) {
+            let brow = a.row(j);
+            let mut acc = T::zero();
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc = x.mul_add(y, acc);
+            }
+            c[(i, j)] += acc;
+        }
+    }
+}
+
+/// Packed kernel: accumulate the lower triangle of `A·Aᵀ` into packed
+/// storage. Rayon-parallel over rows of `C` (each row of the packed
+/// triangle is an independent chunk of the packed buffer).
+pub fn syrk_packed<T: Scalar>(c: &mut PackedLower<T>, a: &Matrix<T>) {
+    let (n, _k) = a.shape();
+    assert_eq!(c.n(), n, "syrk_packed: dimension mismatch");
+    match c.diag() {
+        Diag::Inclusive => {
+            let rows: Vec<&[T]> = (0..n).map(|i| a.row(i)).collect();
+            // Row i of the inclusive packed triangle starts at i(i+1)/2 and
+            // has i+1 entries; build disjoint mutable slices via split_at.
+            let buf = c.as_mut_slice();
+            par_rows(
+                buf,
+                n,
+                |i| (i * (i + 1) / 2, i + 1),
+                |i, j, out| {
+                    *out = dot(rows[i], rows[j]);
+                },
+            );
+        }
+        Diag::Strict => {
+            let rows: Vec<&[T]> = (0..n).map(|i| a.row(i)).collect();
+            let buf = c.as_mut_slice();
+            par_rows(
+                buf,
+                n,
+                |i| (i * i.saturating_sub(1) / 2, i),
+                |i, j, out| {
+                    *out = dot(rows[i], rows[j]);
+                },
+            );
+        }
+    }
+}
+
+fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    let mut acc = T::zero();
+    for (&a, &b) in x.iter().zip(y) {
+        acc = a.mul_add(b, acc);
+    }
+    acc
+}
+
+/// Apply `f(i, j, &mut out)` for every packed entry, parallel over rows.
+/// `layout(i)` returns `(offset, len)` of row `i` in the packed buffer.
+/// Accumulates: `out += f`'s value is written via the closure which adds.
+fn par_rows<T: Scalar>(
+    buf: &mut [T],
+    n: usize,
+    layout: impl Fn(usize) -> (usize, usize) + Sync,
+    f: impl Fn(usize, usize, &mut T) + Sync,
+) {
+    // Slice the packed buffer into per-row chunks (disjoint by layout).
+    let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(n);
+    let mut rest = buf;
+    let mut consumed = 0;
+    for i in 0..n {
+        let (off, len) = layout(i);
+        debug_assert_eq!(off, consumed, "rows must tile the packed buffer");
+        let (row, tail) = rest.split_at_mut(len);
+        chunks.push((i, row));
+        rest = tail;
+        consumed += len;
+    }
+    chunks.into_par_iter().for_each(|(i, row)| {
+        for (j, out) in row.iter_mut().enumerate() {
+            let mut acc = T::zero();
+            f(i, j, &mut acc);
+            *out += acc;
+        }
+    });
+}
+
+/// Convenience: the inclusive lower triangle of `A·Aᵀ` as packed storage.
+pub fn syrk_packed_new<T: Scalar>(a: &Matrix<T>, diag: Diag) -> PackedLower<T> {
+    let mut c = PackedLower::zeros(a.rows(), diag);
+    syrk_packed(&mut c, a);
+    c
+}
+
+/// Sequential reference for the full SYRK product as a dense symmetric
+/// matrix — the ground truth the distributed algorithms are verified
+/// against.
+pub fn syrk_full_reference<T: Scalar>(a: &Matrix<T>) -> Matrix<T> {
+    let n = a.rows();
+    let mut c = Matrix::zeros(n, n);
+    syrk_lower_ref(&mut c, a);
+    // Mirror to the upper triangle.
+    for i in 0..n {
+        for j in 0..i {
+            let v = c[(i, j)];
+            c[(j, i)] = v;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::mul_nt;
+    use crate::rng::seeded_matrix;
+
+    #[test]
+    fn syrk_matches_gemm_lower_triangle() {
+        for (n, k) in [(1, 1), (4, 2), (7, 13), (33, 65), (64, 10)] {
+            let a = seeded_matrix::<f64>(n, k, n as u64 * 31 + k as u64);
+            let full = mul_nt(&a, &a);
+            let mut c = Matrix::zeros(n, n);
+            syrk_lower_ref(&mut c, &a);
+            for i in 0..n {
+                for j in 0..=i {
+                    assert!(
+                        (c[(i, j)] - full[(i, j)]).abs() < 1e-10,
+                        "n={n} k={k} ({i},{j})"
+                    );
+                }
+                for j in i + 1..n {
+                    assert_eq!(c[(i, j)], 0.0, "upper triangle must be untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_inclusive_matches_reference() {
+        for (n, k) in [(1, 3), (5, 5), (17, 9), (40, 64)] {
+            let a = seeded_matrix::<f64>(n, k, 7 * n as u64 + k as u64);
+            let p = syrk_packed_new(&a, Diag::Inclusive);
+            let mut dense = Matrix::zeros(n, n);
+            syrk_lower_ref(&mut dense, &a);
+            for i in 0..n {
+                for j in 0..=i {
+                    assert!(
+                        (p.get(i, j) - dense[(i, j)]).abs() < 1e-10,
+                        "n={n} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_strict_skips_diagonal() {
+        let a = seeded_matrix::<f64>(6, 4, 3);
+        let p = syrk_packed_new(&a, Diag::Strict);
+        assert_eq!(p.len(), 15);
+        let mut dense = Matrix::zeros(6, 6);
+        syrk_lower_ref(&mut dense, &a);
+        for i in 0..6 {
+            for j in 0..i {
+                assert!((p.get(i, j) - dense[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_accumulates() {
+        let a = seeded_matrix::<f64>(5, 3, 11);
+        let mut p = syrk_packed_new(&a, Diag::Inclusive);
+        syrk_packed(&mut p, &a); // second accumulation doubles everything
+        let single = syrk_packed_new(&a, Diag::Inclusive);
+        for (two, one) in p.as_slice().iter().zip(single.as_slice()) {
+            assert!((two - 2.0 * one).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn full_reference_is_symmetric() {
+        let a = seeded_matrix::<f64>(9, 4, 42);
+        let c = syrk_full_reference(&a);
+        for i in 0..9 {
+            for j in 0..9 {
+                assert_eq!(c[(i, j)], c[(j, i)]);
+            }
+        }
+        // And equals A·Aᵀ.
+        let g = mul_nt(&a, &a);
+        for i in 0..9 {
+            for j in 0..9 {
+                assert!((c[(i, j)] - g[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn flop_formulas() {
+        assert_eq!(syrk_flops(4, 10), 4 * 5 * 10);
+        assert_eq!(syrk_strict_flops(4, 10), 4 * 3 * 10);
+        // Strict + n diagonal dot products (2k flops each) = inclusive.
+        let (n, k) = (9u64, 5u64);
+        assert_eq!(syrk_strict_flops(9, 5) + 2 * n * k, syrk_flops(9, 5));
+    }
+
+    #[test]
+    fn zero_k_is_noop() {
+        let a = Matrix::<f64>::zeros(4, 0);
+        let p = syrk_packed_new(&a, Diag::Inclusive);
+        assert!(p.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,206 @@
+//! Borrowed, strided matrix views.
+
+use crate::scalar::Scalar;
+use std::ops::Index;
+
+/// An immutable view of a `rows × cols` block inside a row-major buffer
+/// with row stride `stride ≥ cols`.
+#[derive(Clone, Copy)]
+pub struct MatrixView<'a, T = f64> {
+    data: &'a [T],
+    rows: usize,
+    cols: usize,
+    stride: usize,
+}
+
+impl<'a, T: Scalar> MatrixView<'a, T> {
+    /// Wrap `data` as a view. `data` must contain at least
+    /// `(rows−1)·stride + cols` elements.
+    pub fn new(data: &'a [T], rows: usize, cols: usize, stride: usize) -> Self {
+        assert!(stride >= cols, "stride {stride} < cols {cols}");
+        if rows > 0 {
+            assert!(
+                data.len() >= (rows - 1) * stride + cols,
+                "buffer too small for {rows}x{cols} view with stride {stride}"
+            );
+        }
+        MatrixView {
+            data,
+            rows,
+            cols,
+            stride,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [T] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.stride..i * self.stride + self.cols]
+    }
+
+    /// A sub-view of this view.
+    pub fn sub(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> MatrixView<'a, T> {
+        assert!(
+            row0 + rows <= self.rows && col0 + cols <= self.cols,
+            "sub-view out of range"
+        );
+        MatrixView::new(
+            &self.data[row0 * self.stride + col0..],
+            rows,
+            cols,
+            self.stride,
+        )
+    }
+
+    /// Copy into a new owned matrix.
+    pub fn to_owned_matrix(&self) -> crate::matrix::Matrix<T> {
+        crate::matrix::Matrix::from_fn(self.rows, self.cols, |i, j| self[(i, j)])
+    }
+}
+
+impl<T: Scalar> Index<(usize, usize)> for MatrixView<'_, T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.stride + j]
+    }
+}
+
+/// A mutable view of a `rows × cols` block inside a row-major buffer.
+pub struct MatrixViewMut<'a, T = f64> {
+    data: &'a mut [T],
+    rows: usize,
+    cols: usize,
+    stride: usize,
+}
+
+impl<'a, T: Scalar> MatrixViewMut<'a, T> {
+    /// Wrap `data` as a mutable view (same size contract as
+    /// [`MatrixView::new`]).
+    pub fn new(data: &'a mut [T], rows: usize, cols: usize, stride: usize) -> Self {
+        assert!(stride >= cols, "stride {stride} < cols {cols}");
+        if rows > 0 {
+            assert!(
+                data.len() >= (rows - 1) * stride + cols,
+                "buffer too small for {rows}x{cols} view with stride {stride}"
+            );
+        }
+        MatrixViewMut {
+            data,
+            rows,
+            cols,
+            stride,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.stride + j]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.stride + j]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.stride..i * self.stride + self.cols]
+    }
+
+    /// Reborrow as an immutable view.
+    pub fn as_view(&self) -> MatrixView<'_, T> {
+        MatrixView::new(self.data, self.rows, self.cols, self.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn view_indexes_with_stride() {
+        let m = Matrix::from_fn(4, 6, |i, j| (i * 6 + j) as f64);
+        let v = m.block(1, 2, 2, 3);
+        assert_eq!(v.rows(), 2);
+        assert_eq!(v.cols(), 3);
+        assert_eq!(v[(0, 0)], 8.0);
+        assert_eq!(v[(1, 2)], 16.0);
+        assert_eq!(v.row(1), &[14.0, 15.0, 16.0]);
+    }
+
+    #[test]
+    fn sub_view_composes() {
+        let m = Matrix::from_fn(5, 5, |i, j| (i * 5 + j) as f64);
+        let v = m.block(1, 1, 4, 4).sub(1, 2, 2, 1);
+        assert_eq!(v[(0, 0)], m[(2, 3)]);
+        assert_eq!(v[(1, 0)], m[(3, 3)]);
+    }
+
+    #[test]
+    fn to_owned_copies() {
+        let m = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
+        let o = m.block(0, 1, 2, 2).to_owned_matrix();
+        assert_eq!(o[(0, 0)], 1.0);
+        assert_eq!(o[(1, 1)], 3.0);
+    }
+
+    #[test]
+    fn mut_view_writes_through() {
+        let mut m = Matrix::<f64>::zeros(3, 3);
+        {
+            let mut v = m.view_mut();
+            *v.at_mut(1, 2) = 7.0;
+            v.row_mut(0)[1] = 3.0;
+            assert_eq!(v.get(1, 2), 7.0);
+        }
+        assert_eq!(m[(1, 2)], 7.0);
+        assert_eq!(m[(0, 1)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_sub_view_panics() {
+        let m = Matrix::<f64>::zeros(3, 3);
+        let _ = m.block(0, 0, 3, 3).sub(1, 1, 3, 1);
+    }
+
+    #[test]
+    fn zero_row_view_is_ok() {
+        let m = Matrix::<f64>::zeros(3, 3);
+        let v = m.block(1, 1, 0, 2);
+        assert_eq!(v.rows(), 0);
+    }
+}

@@ -1,0 +1,18 @@
+//! The constrained optimization machinery behind the lower bound (§4.3).
+//!
+//! * [`problem`] — the Lemma 6 problem statement (objective, constraints,
+//!   case trichotomy).
+//! * [`analytic`] — the paper's closed-form solution.
+//! * [`numeric`] — an independent golden-section solve (cross-check, E11).
+//! * [`kkt`] — machine-checking the KKT certificate with the paper's dual
+//!   variables.
+//! * [`quasiconvex`] — Lemma 4's quasiconvexity predicate.
+
+mod analytic;
+mod kkt;
+mod numeric;
+mod problem;
+pub mod quasiconvex;
+
+pub use kkt::KktReport;
+pub use problem::{BoundCase, Lemma6Problem, Point};

@@ -1,0 +1,77 @@
+//! All-Gather: every rank ends with every rank's block.
+
+use crate::collectives::TAG_ALLGATHER;
+use crate::comm::Comm;
+
+impl Comm {
+    /// All-gather with the pairwise-exchange algorithm.
+    ///
+    /// Returns `blocks[q]` = rank `q`'s `mine`. Cost: `P − 1` messages and
+    /// `(P − 1)·|mine|` words sent per rank, which is bandwidth-optimal
+    /// (`(1 − 1/P)·W` with `W = P·|mine|` the gathered size).
+    pub fn all_gather(&self, mine: Vec<f64>) -> Vec<Vec<f64>> {
+        let p = self.size();
+        let me = self.rank();
+        self.note_buffer(mine.len() * p);
+        let mut blocks: Vec<Vec<f64>> = vec![Vec::new(); p];
+        for step in 1..p {
+            let dst = (me + step) % p;
+            let src = (me + p - step) % p;
+            blocks[src] = self.exchange(dst, mine.clone(), src, TAG_ALLGATHER);
+        }
+        blocks[me] = mine;
+        blocks
+    }
+
+    /// All-gather returning the concatenation of all blocks in rank order.
+    pub fn all_gather_concat(&self, mine: Vec<f64>) -> Vec<f64> {
+        self.all_gather(mine).into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::Machine;
+
+    #[test]
+    fn all_gather_collects_every_block() {
+        for p in [1, 2, 4, 7] {
+            let out = Machine::new(p).run(|comm| {
+                let mine = vec![comm.rank() as f64; 3];
+                comm.all_gather(mine)
+            });
+            for blocks in &out.results {
+                for (q, blk) in blocks.iter().enumerate() {
+                    assert_eq!(blk, &vec![q as f64; 3], "P={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concat_orders_by_rank() {
+        let out = Machine::new(3).run(|comm| comm.all_gather_concat(vec![comm.rank() as f64]));
+        assert_eq!(out.results[1], vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn bandwidth_is_p_minus_1_blocks() {
+        let (p, b) = (6, 11);
+        let out = Machine::new(p).run(|comm| {
+            comm.all_gather(vec![0.0; b]);
+        });
+        for r in &out.cost.ranks {
+            assert_eq!(r.words_sent, ((p - 1) * b) as u64);
+            assert_eq!(r.msgs_sent, (p - 1) as u64);
+        }
+    }
+
+    #[test]
+    fn blocks_may_have_different_sizes() {
+        let out = Machine::new(4).run(|comm| {
+            let mine = vec![1.0; comm.rank() + 1];
+            comm.all_gather_concat(mine).len()
+        });
+        assert!(out.results.iter().all(|&n| n == 1 + 2 + 3 + 4));
+    }
+}

@@ -1,0 +1,189 @@
+//! All-to-All (personalized exchange).
+
+use crate::collectives::{CollectiveAlg, TAG_ALLTOALL};
+use crate::comm::Comm;
+
+impl Comm {
+    /// Personalized all-to-all with the pairwise-exchange algorithm.
+    ///
+    /// `blocks[q]` is the data this rank sends to rank `q` (blocks may have
+    /// different sizes; `blocks[rank]` is kept locally for free). Returns
+    /// `recv[q]` = the block rank `q` sent to this rank.
+    ///
+    /// Cost (§3.2): `P − 1` messages, `Σ_{q≠rank} |blocks[q]|` words sent —
+    /// i.e. `(1 − 1/P)·w` when all blocks have equal size `w/P`.
+    ///
+    /// ```
+    /// use syrk_machine::Machine;
+    /// let out = Machine::new(3).run(|comm| {
+    ///     let blocks: Vec<Vec<f64>> =
+    ///         (0..3).map(|q| vec![(comm.rank() * 3 + q) as f64]).collect();
+    ///     comm.all_to_all(blocks)[2][0] // what rank 2 sent me
+    /// });
+    /// assert_eq!(out.results[1], 7.0); // rank 2's block for rank 1
+    /// ```
+    pub fn all_to_all(&self, blocks: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        self.all_to_all_with(blocks, CollectiveAlg::PairwiseExchange)
+    }
+
+    /// All-to-all with an explicit algorithm choice.
+    pub fn all_to_all_with(&self, blocks: Vec<Vec<f64>>, alg: CollectiveAlg) -> Vec<Vec<f64>> {
+        let p = self.size();
+        assert_eq!(blocks.len(), p, "all_to_all needs one block per rank");
+        self.note_buffer(blocks.iter().map(Vec::len).sum());
+        match alg {
+            CollectiveAlg::PairwiseExchange => self.a2a_pairwise(blocks),
+            CollectiveAlg::Bruck => self.a2a_bruck(blocks),
+        }
+    }
+
+    fn a2a_pairwise(&self, mut blocks: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        let p = self.size();
+        let me = self.rank();
+        let mut recv: Vec<Vec<f64>> = vec![Vec::new(); p];
+        recv[me] = std::mem::take(&mut blocks[me]);
+        for step in 1..p {
+            let dst = (me + step) % p;
+            let src = (me + p - step) % p;
+            let out = std::mem::take(&mut blocks[dst]);
+            recv[src] = self.exchange(dst, out, src, TAG_ALLTOALL);
+        }
+        recv
+    }
+
+    /// Bruck's algorithm: `⌈log₂ P⌉` rounds. Requires uniform block sizes.
+    ///
+    /// Round `k` (for each bit `k` of the rank distance) ships every block
+    /// whose destination distance has bit `k` set, so each round moves up to
+    /// `⌈P/2⌉` blocks: latency `O(log P)`, bandwidth `≈ (w/2)·log₂ P`
+    /// (the factor-`(log P)/2` inflation discussed in §6).
+    fn a2a_bruck(&self, blocks: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        let p = self.size();
+        let me = self.rank();
+        let b = blocks.first().map(Vec::len).unwrap_or(0);
+        assert!(
+            blocks.iter().all(|blk| blk.len() == b),
+            "Bruck all-to-all requires uniform block sizes"
+        );
+        if p == 1 {
+            return blocks;
+        }
+        // Phase 1: local rotation — slot d holds the block for rank me+d.
+        let mut slots: Vec<Vec<f64>> = (0..p).map(|d| blocks[(me + d) % p].clone()).collect();
+        // Phase 2: log rounds over distance bits.
+        let mut k = 1usize;
+        while k < p {
+            let dst = (me + k) % p; // ranks send k "forward"
+            let src = (me + p - k) % p;
+            let moving: Vec<usize> = (0..p).filter(|d| d & k != 0).collect();
+            // Pack: header of slot indices is metadata (indices are implied
+            // by the round on the receive side), so only data words count.
+            let mut out = Vec::with_capacity(moving.len() * b);
+            for &d in &moving {
+                out.extend_from_slice(&slots[d]);
+            }
+            let inc: Vec<f64> = self.exchange(dst, out, src, TAG_ALLTOALL);
+            for (i, &d) in moving.iter().enumerate() {
+                slots[d].copy_from_slice(&inc[i * b..(i + 1) * b]);
+            }
+            k <<= 1;
+        }
+        // Phase 3: inverse rotation. After phase 2, slot d holds the block
+        // *destined to me* that originated at rank me − d (mod p), with the
+        // bits of d consumed in distance order. Undo the rotation.
+        let mut recv = vec![Vec::new(); p];
+        for (d, slot) in slots.into_iter().enumerate() {
+            recv[(me + p - d) % p] = slot;
+        }
+        recv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collectives::CollectiveAlg;
+    use crate::machine::Machine;
+
+    /// The canonical all-to-all check: rank r sends `[r*P + q]` to rank q;
+    /// afterwards rank q holds `[r*P + q]` from every r.
+    fn check_alltoall(p: usize, alg: CollectiveAlg) {
+        let out = Machine::new(p).run(|comm| {
+            let me = comm.rank();
+            let blocks: Vec<Vec<f64>> = (0..p)
+                .map(|q| vec![(me * p + q) as f64, 1000.0 + me as f64])
+                .collect();
+            let recv = comm.all_to_all_with(blocks, alg);
+            for (r, blk) in recv.iter().enumerate() {
+                assert_eq!(blk[0], (r * p + me) as f64, "P={p} rank {me} from {r}");
+                assert_eq!(blk[1], 1000.0 + r as f64);
+            }
+            true
+        });
+        assert!(out.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn pairwise_correct_various_p() {
+        for p in [1, 2, 3, 4, 5, 7, 8, 12] {
+            check_alltoall(p, CollectiveAlg::PairwiseExchange);
+        }
+    }
+
+    #[test]
+    fn bruck_correct_various_p() {
+        for p in [1, 2, 3, 4, 5, 6, 7, 8, 11, 16] {
+            check_alltoall(p, CollectiveAlg::Bruck);
+        }
+    }
+
+    #[test]
+    fn pairwise_bandwidth_matches_model() {
+        // Uniform blocks of size b: each rank sends (P-1)·b words in P-1
+        // messages — the (1 − 1/P)·w cost from §3.2 with w = P·b.
+        let (p, b) = (6, 10);
+        let out = Machine::new(p).run(|comm| {
+            let blocks = vec![vec![0.0; b]; p];
+            comm.all_to_all(blocks);
+        });
+        for r in &out.cost.ranks {
+            assert_eq!(r.words_sent, ((p - 1) * b) as u64);
+            assert_eq!(r.msgs_sent, (p - 1) as u64);
+        }
+    }
+
+    #[test]
+    fn pairwise_supports_nonuniform_blocks() {
+        let p = 4;
+        let out = Machine::new(p).run(|comm| {
+            let me = comm.rank();
+            // Block for rank q has length q+1 and is filled with me.
+            let blocks: Vec<Vec<f64>> = (0..p).map(|q| vec![me as f64; q + 1]).collect();
+            let recv = comm.all_to_all(blocks);
+            for (r, blk) in recv.iter().enumerate() {
+                assert_eq!(blk.len(), me + 1);
+                assert!(blk.iter().all(|&x| x == r as f64));
+            }
+            true
+        });
+        assert!(out.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn bruck_fewer_messages_more_words() {
+        let (p, b) = (16, 100);
+        let run = |alg| {
+            Machine::new(p)
+                .run(move |comm| {
+                    comm.all_to_all_with(vec![vec![0.0; b]; p], alg);
+                })
+                .cost
+        };
+        let pw = run(CollectiveAlg::PairwiseExchange);
+        let bruck = run(CollectiveAlg::Bruck);
+        assert!(bruck.max_messages() < pw.max_messages());
+        assert!(bruck.max_words_sent() > pw.max_words_sent());
+        // log2(16) = 4 rounds, each shipping P/2 = 8 blocks.
+        assert_eq!(bruck.max_messages(), 4);
+        assert_eq!(bruck.max_words_sent(), (4 * 8 * b) as u64);
+    }
+}

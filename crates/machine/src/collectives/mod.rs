@@ -1,0 +1,48 @@
+//! Collective operations over a [`Comm`](crate::Comm).
+//!
+//! The paper's algorithms (§5) communicate exclusively through
+//! `All-to-All` and `Reduce-Scatter`, assuming *pairwise exchange*
+//! implementations (§3.2): on `P` processors both collectives cost
+//! `P − 1` messages (latency) and `(1 − 1/P)·w` words (bandwidth), where
+//! `w` is the per-processor data size before the collective.
+//! `Reduce-Scatter` additionally performs `(1 − 1/P)·w` additions.
+//!
+//! All of those are implemented here, plus the latency-efficient variants
+//! discussed in §6 (Bruck all-to-all, binomial trees) so the trade-off can
+//! be measured (experiment E12).
+
+mod allgather;
+mod allreduce;
+mod alltoall;
+mod barrier;
+mod bcast;
+mod gather;
+mod reduce;
+mod reduce_scatter;
+
+pub use reduce_scatter::ReduceScatterAlg;
+
+/// Algorithm selector for collectives that have several implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollectiveAlg {
+    /// Pairwise exchange: `P − 1` rounds, bandwidth-optimal `(1 − 1/P)·w`.
+    /// This is the algorithm assumed throughout the paper's cost analysis.
+    #[default]
+    PairwiseExchange,
+    /// Bruck's log-structured algorithm: `⌈log₂ P⌉` rounds, bandwidth
+    /// inflated by a factor of about `(log₂ P)/2` for all-to-all.
+    Bruck,
+}
+
+/// Reserved tag space for collectives so they never collide with
+/// user point-to-point tags (which should stay below this value).
+pub(crate) const COLL_TAG: u64 = 1 << 60;
+
+pub(crate) const TAG_ALLTOALL: u64 = COLL_TAG + 1;
+pub(crate) const TAG_REDUCE_SCATTER: u64 = COLL_TAG + 2;
+pub(crate) const TAG_ALLGATHER: u64 = COLL_TAG + 3;
+pub(crate) const TAG_BCAST: u64 = COLL_TAG + 4;
+pub(crate) const TAG_REDUCE: u64 = COLL_TAG + 5;
+pub(crate) const TAG_GATHER: u64 = COLL_TAG + 6;
+pub(crate) const TAG_SCATTER: u64 = COLL_TAG + 7;
+pub(crate) const TAG_BARRIER: u64 = COLL_TAG + 8;

@@ -1,0 +1,467 @@
+//! Communicators: point-to-point messaging, sub-communicators, and the
+//! shared world state of a simulated machine run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::cost::{CostModel, RankCost};
+use crate::envelope::{Envelope, Payload};
+use crate::trace::{Event, EventKind, Timeline};
+
+/// Per-rank incoming message queue with out-of-order matching.
+///
+/// Channels deliver envelopes in send order per link; a receive for a
+/// specific `(src, tag)` buffers any non-matching envelopes in `pending`
+/// until they are asked for.
+pub(crate) struct Mailbox {
+    rx: Receiver<Envelope>,
+    pending: Vec<Envelope>,
+}
+
+impl Mailbox {
+    fn take_matching(
+        &mut self,
+        src: usize,
+        tag: (u64, u64),
+        timeout: Duration,
+        me: usize,
+        poisoned: &AtomicBool,
+    ) -> Envelope {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.src == src && e.tag == tag)
+        {
+            // `remove`, not `swap_remove`: per-link FIFO order must be
+            // preserved so that back-to-back collectives reusing a tag
+            // match their rounds in send order.
+            return self.pending.remove(pos);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            // Poll in short slices so a panic on another rank (which can
+            // never satisfy this receive) aborts the run promptly instead
+            // of stalling until the full deadlock timeout.
+            match self.rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(env) if env.src == src && env.tag == tag => return env,
+                Ok(env) => self.pending.push(env),
+                Err(_) => {
+                    if poisoned.load(Ordering::Relaxed) {
+                        panic!(
+                            "rank {me}: aborting recv from {src} tag {tag:?}: another rank panicked"
+                        );
+                    }
+                    if Instant::now() >= deadline {
+                        panic!(
+                            "rank {me}: recv from {src} tag {tag:?} timed out after {timeout:?} \
+                             ({} unmatched envelopes pending)",
+                            self.pending.len()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Shared state of one machine run: the network fabric and cost ledger.
+pub(crate) struct World {
+    pub size: usize,
+    pub model: CostModel,
+    pub senders: Vec<Sender<Envelope>>,
+    pub costs: Vec<Mutex<RankCost>>,
+    pub timeout: Duration,
+    /// Set when any rank panics so blocked receives abort promptly.
+    pub poisoned: AtomicBool,
+    /// Per-rank event logs when tracing is enabled.
+    pub traces: Option<Vec<Mutex<Timeline>>>,
+}
+
+/// A communicator handle held by a single simulated rank.
+///
+/// The world communicator is handed to the SPMD closure by
+/// [`Machine::run`](crate::machine::Machine::run); sub-communicators are
+/// created collectively with [`Comm::split`]. Group ranks (`0..size`) are
+/// always used in the public API; translation to world ranks is internal.
+pub struct Comm {
+    world: Arc<World>,
+    mailbox: Arc<Mutex<Mailbox>>,
+    /// World ranks of this communicator's members, indexed by group rank.
+    group: Arc<Vec<usize>>,
+    /// This rank's position within `group`.
+    group_rank: usize,
+    /// Communicator id; tags are namespaced per communicator.
+    comm_id: u64,
+    /// Number of `split` calls performed on this communicator (local, but
+    /// consistent across members because splits are collective).
+    split_seq: u64,
+}
+
+/// splitmix64 finalizer — used to derive child communicator ids
+/// deterministically and identically on every member.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl Comm {
+    pub(crate) fn new_world(world: Arc<World>, rank: usize, rx: Receiver<Envelope>) -> Self {
+        Comm {
+            mailbox: Arc::new(Mutex::new(Mailbox {
+                rx,
+                pending: Vec::new(),
+            })),
+            group: Arc::new((0..world.size).collect()),
+            group_rank: rank,
+            comm_id: 0,
+            split_seq: 0,
+            world,
+        }
+    }
+
+    /// This rank within this communicator (`0..size`).
+    pub fn rank(&self) -> usize {
+        self.group_rank
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// This rank in the world communicator.
+    pub fn world_rank(&self) -> usize {
+        self.group[self.group_rank]
+    }
+
+    /// The cost model the run is charged under.
+    pub fn model(&self) -> CostModel {
+        self.world.model
+    }
+
+    fn with_cost<R>(&self, f: impl FnOnce(&mut RankCost, &CostModel) -> R) -> R {
+        let mut guard = self.world.costs[self.world_rank()].lock();
+        f(&mut guard, &self.world.model)
+    }
+
+    fn trace(&self, kind: EventKind, peer: usize, amount: u64) {
+        if let Some(traces) = &self.world.traces {
+            let clock = self.with_cost(|c, _| c.clock);
+            traces[self.world_rank()].lock().push(Event {
+                kind,
+                peer,
+                amount,
+                clock,
+            });
+        }
+    }
+
+    /// Charge `n` flops to this rank.
+    pub fn add_flops(&self, n: u64) {
+        self.with_cost(|c, m| c.on_flops(n, m));
+        self.trace(EventKind::Flops, usize::MAX, n);
+    }
+
+    /// Record `w` words of transient buffer space (memory footprint probe).
+    pub fn note_buffer(&self, w: usize) {
+        self.with_cost(|c, _| c.on_buffer(w));
+    }
+
+    /// Current cost counters of this rank (snapshot).
+    pub fn my_cost(&self) -> RankCost {
+        self.with_cost(|c, _| c.clone())
+    }
+
+    fn push_to(&self, dst_world: usize, env: Envelope) {
+        self.world.senders[dst_world]
+            .send(env)
+            .expect("simulated network channel closed while ranks are live");
+    }
+
+    /// Send `payload` to group rank `dst` with `tag`. Blocking-send
+    /// semantics are simulated for cost purposes only; the transport is
+    /// buffered, so `send` never deadlocks.
+    pub fn send<T: Payload>(&self, dst: usize, tag: u64, payload: T) {
+        assert!(
+            dst < self.size(),
+            "send: dst {dst} out of range for size {}",
+            self.size()
+        );
+        let words = payload.words();
+        let sender_ready = self.with_cost(|c, m| {
+            let ready = c.clock;
+            c.on_send(words, m);
+            ready
+        });
+        self.push_to(
+            self.group[dst],
+            Envelope {
+                src: self.world_rank(),
+                tag: (self.comm_id, tag),
+                words,
+                sender_ready,
+                payload: Box::new(payload),
+            },
+        );
+        self.trace(EventKind::Send, self.group[dst], words as u64);
+    }
+
+    /// Receive a `T` from group rank `src` with `tag`.
+    ///
+    /// Panics if the next matching message does not contain a `T`, or if no
+    /// matching message arrives within the machine's timeout (a deadlock
+    /// diagnostic rather than a hang).
+    pub fn recv<T: Payload>(&self, src: usize, tag: u64) -> T {
+        assert!(
+            src < self.size(),
+            "recv: src {src} out of range for size {}",
+            self.size()
+        );
+        let env = self.mailbox.lock().take_matching(
+            self.group[src],
+            (self.comm_id, tag),
+            self.world.timeout,
+            self.world_rank(),
+            &self.world.poisoned,
+        );
+        self.with_cost(|c, m| c.on_recv(env.words, env.sender_ready, m));
+        self.trace(EventKind::Recv, self.group[src], env.words as u64);
+        *env.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch receiving from {} tag {}",
+                self.rank(),
+                src,
+                tag
+            )
+        })
+    }
+
+    /// Simultaneously send `payload` to `dst` and receive a `T` from `src`
+    /// (both group ranks). Under the bidirectional-link assumption of §3.2
+    /// the step is charged once at `α + β·max(w_out, w_in)`, which is what
+    /// makes pairwise-exchange collectives cost `(1 − 1/P)·w`.
+    pub fn exchange<T: Payload, U: Payload>(&self, dst: usize, out: T, src: usize, tag: u64) -> U {
+        assert!(dst < self.size() && src < self.size());
+        let w_out = out.words();
+        // Dispatch without advancing the clock: the exchange is charged as
+        // one duplex step when the inbound message is matched below.
+        let sender_ready = self.with_cost(|c, _| c.clock);
+        self.push_to(
+            self.group[dst],
+            Envelope {
+                src: self.world_rank(),
+                tag: (self.comm_id, tag),
+                words: w_out,
+                sender_ready,
+                payload: Box::new(out),
+            },
+        );
+        let env = self.mailbox.lock().take_matching(
+            self.group[src],
+            (self.comm_id, tag),
+            self.world.timeout,
+            self.world_rank(),
+            &self.world.poisoned,
+        );
+        self.with_cost(|c, m| c.on_exchange(w_out, env.words, env.sender_ready, m));
+        self.trace(
+            EventKind::Exchange,
+            self.group[dst],
+            w_out.max(env.words) as u64,
+        );
+        *env.payload.downcast::<U>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch in exchange with src {} tag {}",
+                self.rank(),
+                src,
+                tag
+            )
+        })
+    }
+
+    /// Collectively split this communicator into disjoint sub-communicators.
+    ///
+    /// All members of `self` must call `split` together (it is collective in
+    /// the SPMD sense — same call sequence on every rank). Ranks passing the
+    /// same `color` end up in the same child communicator, ordered by
+    /// `key` (ties broken by parent rank). Mirrors `MPI_Comm_split`.
+    pub fn split(&mut self, color: u64, key: usize) -> Comm {
+        self.split_seq += 1;
+        // Agree on membership: all-gather (color, key) as metadata.
+        // This is bookkeeping, not algorithm communication, so it is
+        // performed out-of-band (no cost charged) via a zero-cost gather:
+        // every rank sends its (color, key) to everyone. To keep the
+        // simulation honest we avoid the network entirely: membership is a
+        // pure function of the arguments, which every rank must supply
+        // consistently, so each rank exchanges metadata envelopes of zero
+        // words.
+        let tag = mix64(self.comm_id ^ self.split_seq.wrapping_mul(0x51ab_3c47));
+        let me = self.group_rank;
+        let meta = vec![color, key as u64];
+        for dst in 0..self.size() {
+            if dst != me {
+                // Zero-word metadata: charge nothing.
+                let sender_ready = self.with_cost(|c, _| c.clock);
+                self.push_to(
+                    self.group[dst],
+                    Envelope {
+                        src: self.world_rank(),
+                        tag: (self.comm_id, tag),
+                        words: 0,
+                        sender_ready,
+                        payload: Box::new(meta.clone()),
+                    },
+                );
+            }
+        }
+        let mut members: Vec<(u64, usize, usize)> = vec![(color, key, me)];
+        for src in 0..self.size() {
+            if src != me {
+                let env = self.mailbox.lock().take_matching(
+                    self.group[src],
+                    (self.comm_id, tag),
+                    self.world.timeout,
+                    self.world_rank(),
+                    &self.world.poisoned,
+                );
+                let v = env
+                    .payload
+                    .downcast::<Vec<u64>>()
+                    .expect("split metadata must be Vec<u64>");
+                if v[0] == color {
+                    members.push((v[0], v[1] as usize, src));
+                }
+            }
+        }
+        members.sort_by_key(|&(_, key, parent_rank)| (key, parent_rank));
+        let group: Vec<usize> = members.iter().map(|&(_, _, pr)| self.group[pr]).collect();
+        let group_rank = members
+            .iter()
+            .position(|&(_, _, pr)| pr == me)
+            .expect("caller is always a member of its own color group");
+        let comm_id = mix64(self.comm_id ^ mix64(self.split_seq) ^ mix64(color.wrapping_add(1)));
+        Comm {
+            world: Arc::clone(&self.world),
+            mailbox: Arc::clone(&self.mailbox),
+            group: Arc::new(group),
+            group_rank,
+            comm_id,
+            split_seq: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::Machine;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let out = Machine::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+                0.0
+            } else {
+                let v: Vec<f64> = comm.recv(0, 7);
+                v.iter().sum()
+            }
+        });
+        assert_eq!(out.results[1], 6.0);
+        assert_eq!(out.cost.ranks[0].words_sent, 3);
+        assert_eq!(out.cost.ranks[1].words_recv, 3);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_matched() {
+        let out = Machine::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![10.0f64]);
+                comm.send(1, 2, vec![20.0f64]);
+                0.0
+            } else {
+                // Receive in the opposite order of sending.
+                let b: Vec<f64> = comm.recv(0, 2);
+                let a: Vec<f64> = comm.recv(0, 1);
+                a[0] - b[0]
+            }
+        });
+        assert_eq!(out.results[1], -10.0);
+    }
+
+    #[test]
+    fn exchange_is_duplex_charged() {
+        let out = Machine::new(2).run(|comm| {
+            let partner = 1 - comm.rank();
+            let mine = vec![comm.rank() as f64; 5];
+            let theirs: Vec<f64> = comm.exchange(partner, mine, partner, 3);
+            theirs[0]
+        });
+        assert_eq!(out.results[0], 1.0);
+        assert_eq!(out.results[1], 0.0);
+        // One duplex step: each rank sent 5 and received 5 words but the
+        // clock advanced by a single message cost (β·5 under bandwidth-only).
+        assert_eq!(out.cost.ranks[0].words_sent, 5);
+        assert_eq!(out.cost.ranks[0].words_recv, 5);
+        assert!((out.cost.ranks[0].clock - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_creates_disjoint_groups() {
+        let out = Machine::new(6).run(|comm| {
+            let color = (comm.rank() % 2) as u64;
+            let mut comm = comm;
+            let sub = comm.split(color, comm.rank());
+            // Even ranks {0,2,4} form one comm, odd ranks {1,3,5} another.
+            assert_eq!(sub.size(), 3);
+            // Exchange ranks within the subgroup to prove isolation.
+            let next = (sub.rank() + 1) % sub.size();
+            let prev = (sub.rank() + sub.size() - 1) % sub.size();
+            sub.send(next, 9, vec![comm.rank() as f64]);
+            let v: Vec<f64> = sub.recv(prev, 9);
+            v[0]
+        });
+        // rank 2's predecessor in the even group is rank 0, etc.
+        assert_eq!(out.results[2], 0.0);
+        assert_eq!(out.results[4], 2.0);
+        assert_eq!(out.results[0], 4.0);
+        assert_eq!(out.results[3], 1.0);
+    }
+
+    #[test]
+    fn split_respects_key_ordering() {
+        let out = Machine::new(4).run(|comm| {
+            // Reverse the ordering via key.
+            let mut comm = comm;
+            let sub = comm.split(0, 100 - comm.rank());
+            sub.rank()
+        });
+        assert_eq!(out.results, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn flops_are_charged() {
+        let out = Machine::new(3).run(|comm| {
+            comm.add_flops(10 * (comm.rank() as u64 + 1));
+        });
+        assert_eq!(out.cost.total_flops(), 60);
+        assert_eq!(out.cost.max_flops(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        Machine::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![1.0f64]);
+            } else {
+                let _: Vec<u64> = comm.recv(0, 0);
+            }
+        });
+    }
+}

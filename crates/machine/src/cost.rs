@@ -1,0 +1,340 @@
+//! Cost accounting for the simulated machine.
+//!
+//! The paper (§3.2) uses the α-β-γ model: a message of `w` words costs
+//! `α + β·w`, and each arithmetic operation costs `γ`. The quantity bounded
+//! by Theorem 1 is the *bandwidth cost along the critical path*, i.e. the
+//! maximum over processors of the number of words it sends (equivalently
+//! receives, for the symmetric collectives used here).
+//!
+//! Every rank carries a [`RankCost`]: monotone counters for words/messages
+//! sent and received and flops performed, plus a scalar *clock* that models
+//! elapsed time under the α-β-γ model. The clock advances on every
+//! communication event; on a receive it is joined (`max`) with the sender's
+//! clock at send time, so the final per-rank clock is a valid critical-path
+//! time for the run.
+
+use std::fmt;
+
+/// Parameters of the α-β-γ machine model.
+///
+/// * `alpha` — per-message latency cost,
+/// * `beta`  — per-word bandwidth cost,
+/// * `gamma` — per-flop arithmetic cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Per-message latency cost.
+    pub alpha: f64,
+    /// Per-word bandwidth cost.
+    pub beta: f64,
+    /// Per-flop arithmetic cost.
+    pub gamma: f64,
+}
+
+impl CostModel {
+    /// A model that only charges bandwidth (β = 1). Useful when comparing
+    /// measured word counts against the paper's bandwidth lower bounds.
+    pub fn bandwidth_only() -> Self {
+        CostModel {
+            alpha: 0.0,
+            beta: 1.0,
+            gamma: 0.0,
+        }
+    }
+
+    /// A model with typical relative magnitudes (α ≫ β ≫ γ) for
+    /// latency-vs-bandwidth trade-off experiments (§6 of the paper).
+    pub fn typical() -> Self {
+        CostModel {
+            alpha: 1e-6,
+            beta: 1e-9,
+            gamma: 1e-12,
+        }
+    }
+
+    /// Cost of a single message of `w` words under this model.
+    pub fn message(&self, w: usize) -> f64 {
+        self.alpha + self.beta * w as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::bandwidth_only()
+    }
+}
+
+/// Monotone cost counters plus the α-β-γ clock for a single rank.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankCost {
+    /// Number of point-to-point messages this rank sent.
+    pub msgs_sent: u64,
+    /// Number of point-to-point messages this rank received.
+    pub msgs_recv: u64,
+    /// Total words this rank sent.
+    pub words_sent: u64,
+    /// Total words this rank received.
+    pub words_recv: u64,
+    /// Total floating-point operations this rank performed.
+    pub flops: u64,
+    /// α-β-γ clock: a critical-path elapsed time for this rank.
+    pub clock: f64,
+    /// High-water mark of words simultaneously buffered by collectives on
+    /// this rank (a proxy for the extra memory footprint of an algorithm).
+    pub peak_buffer_words: u64,
+}
+
+impl RankCost {
+    /// Record a send of one message with `w` words, advancing the clock.
+    pub fn on_send(&mut self, w: usize, model: &CostModel) {
+        self.msgs_sent += 1;
+        self.words_sent += w as u64;
+        self.clock += model.message(w);
+    }
+
+    /// Record a receive of one message with `w` words that the sender
+    /// dispatched at time `sender_ready`.
+    pub fn on_recv(&mut self, w: usize, sender_ready: f64, model: &CostModel) {
+        self.msgs_recv += 1;
+        self.words_recv += w as u64;
+        self.clock = self.clock.max(sender_ready) + model.message(w);
+    }
+
+    /// Record a simultaneous exchange: `w_out` words sent while `w_in` words
+    /// are received (bidirectional links, §3.2 — the step costs
+    /// `α + β·max(w_out, w_in)`).
+    pub fn on_exchange(
+        &mut self,
+        w_out: usize,
+        w_in: usize,
+        partner_ready: f64,
+        model: &CostModel,
+    ) {
+        self.msgs_sent += 1;
+        self.msgs_recv += 1;
+        self.words_sent += w_out as u64;
+        self.words_recv += w_in as u64;
+        self.clock = self.clock.max(partner_ready) + model.message(w_out.max(w_in));
+    }
+
+    /// Record `n` floating-point operations.
+    pub fn on_flops(&mut self, n: u64, model: &CostModel) {
+        self.flops += n;
+        self.clock += model.gamma * n as f64;
+    }
+
+    /// Record `w` words of transient buffer space in use.
+    pub fn on_buffer(&mut self, w: usize) {
+        self.peak_buffer_words = self.peak_buffer_words.max(w as u64);
+    }
+}
+
+/// Aggregated cost report for a full run of the machine.
+#[derive(Debug, Clone)]
+pub struct CostReport {
+    /// The model the run was charged under.
+    pub model: CostModel,
+    /// Per-rank cost rows, indexed by world rank.
+    pub ranks: Vec<RankCost>,
+}
+
+impl CostReport {
+    /// Number of ranks in the run.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Bandwidth cost along the critical path: `max_p words_sent(p)`.
+    ///
+    /// This is the quantity Theorem 1 lower-bounds (the paper counts the
+    /// words a single processor must move; with symmetric collectives,
+    /// sends and receives coincide to leading order).
+    pub fn max_words_sent(&self) -> u64 {
+        self.ranks.iter().map(|r| r.words_sent).max().unwrap_or(0)
+    }
+
+    /// `max_p words_recv(p)` — receive-side critical-path bandwidth cost.
+    pub fn max_words_recv(&self) -> u64 {
+        self.ranks.iter().map(|r| r.words_recv).max().unwrap_or(0)
+    }
+
+    /// `max_p (words_sent(p) + words_recv(p))` — total traffic at the
+    /// busiest rank.
+    pub fn max_words_total(&self) -> u64 {
+        self.ranks
+            .iter()
+            .map(|r| r.words_sent + r.words_recv)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Latency cost along the critical path: `max_p msgs_sent(p)`.
+    pub fn max_messages(&self) -> u64 {
+        self.ranks.iter().map(|r| r.msgs_sent).max().unwrap_or(0)
+    }
+
+    /// Total words moved over the whole network (each word counted once,
+    /// on the send side).
+    pub fn total_words(&self) -> u64 {
+        self.ranks.iter().map(|r| r.words_sent).sum()
+    }
+
+    /// Total flops across all ranks.
+    pub fn total_flops(&self) -> u64 {
+        self.ranks.iter().map(|r| r.flops).sum()
+    }
+
+    /// Maximum flops on any one rank (the computational critical path).
+    pub fn max_flops(&self) -> u64 {
+        self.ranks.iter().map(|r| r.flops).max().unwrap_or(0)
+    }
+
+    /// Final α-β-γ clock: maximum over ranks.
+    pub fn elapsed(&self) -> f64 {
+        self.ranks.iter().map(|r| r.clock).fold(0.0, f64::max)
+    }
+
+    /// Computational load imbalance: `max_p flops(p) / (total / P)`, or 1.0
+    /// when no flops were performed.
+    pub fn flop_imbalance(&self) -> f64 {
+        let total = self.total_flops();
+        if total == 0 {
+            return 1.0;
+        }
+        let avg = total as f64 / self.num_ranks() as f64;
+        self.max_flops() as f64 / avg
+    }
+
+    /// Largest transient collective buffer across ranks, in words.
+    pub fn max_peak_buffer(&self) -> u64 {
+        self.ranks
+            .iter()
+            .map(|r| r.peak_buffer_words)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "CostReport: P={} max_words_sent={} max_msgs={} total_flops={} imbalance={:.3} elapsed={:.3e}",
+            self.num_ranks(),
+            self.max_words_sent(),
+            self.max_messages(),
+            self.total_flops(),
+            self.flop_imbalance(),
+            self.elapsed(),
+        )?;
+        for (p, r) in self.ranks.iter().enumerate() {
+            writeln!(
+                f,
+                "  rank {p:>3}: sent {:>10} w / {:>6} msg, recv {:>10} w / {:>6} msg, flops {:>12}, clock {:.3e}",
+                r.words_sent, r.msgs_sent, r.words_recv, r.msgs_recv, r.flops, r.clock
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_cost_combines_alpha_beta() {
+        let m = CostModel {
+            alpha: 2.0,
+            beta: 0.5,
+            gamma: 0.0,
+        };
+        assert_eq!(m.message(10), 2.0 + 5.0);
+        assert_eq!(m.message(0), 2.0);
+    }
+
+    #[test]
+    fn send_recv_update_counters_and_clock() {
+        let m = CostModel {
+            alpha: 1.0,
+            beta: 1.0,
+            gamma: 0.0,
+        };
+        let mut c = RankCost::default();
+        c.on_send(4, &m);
+        assert_eq!(c.msgs_sent, 1);
+        assert_eq!(c.words_sent, 4);
+        assert_eq!(c.clock, 5.0);
+        c.on_recv(2, 10.0, &m);
+        assert_eq!(c.words_recv, 2);
+        // clock jumps to the sender's ready time, then pays α + β·w.
+        assert_eq!(c.clock, 10.0 + 3.0);
+    }
+
+    #[test]
+    fn exchange_charges_max_direction() {
+        let m = CostModel {
+            alpha: 1.0,
+            beta: 1.0,
+            gamma: 0.0,
+        };
+        let mut c = RankCost::default();
+        c.on_exchange(3, 7, 0.0, &m);
+        assert_eq!(c.words_sent, 3);
+        assert_eq!(c.words_recv, 7);
+        assert_eq!(c.clock, 1.0 + 7.0);
+    }
+
+    #[test]
+    fn flops_advance_clock_by_gamma() {
+        let m = CostModel {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 2.0,
+        };
+        let mut c = RankCost::default();
+        c.on_flops(5, &m);
+        assert_eq!(c.flops, 5);
+        assert_eq!(c.clock, 10.0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let model = CostModel::bandwidth_only();
+        let mut a = RankCost::default();
+        let mut b = RankCost::default();
+        a.on_send(10, &model);
+        b.on_send(4, &model);
+        b.on_flops(100, &model);
+        let rep = CostReport {
+            model,
+            ranks: vec![a, b],
+        };
+        assert_eq!(rep.max_words_sent(), 10);
+        assert_eq!(rep.total_words(), 14);
+        assert_eq!(rep.total_flops(), 100);
+        assert_eq!(rep.max_flops(), 100);
+        // one rank does all flops of two ranks: imbalance = 2.
+        assert!((rep.flop_imbalance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let rep = CostReport {
+            model: CostModel::default(),
+            ranks: vec![],
+        };
+        assert_eq!(rep.max_words_sent(), 0);
+        assert_eq!(rep.elapsed(), 0.0);
+        assert_eq!(rep.flop_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn peak_buffer_tracks_high_water_mark() {
+        let mut c = RankCost::default();
+        c.on_buffer(10);
+        c.on_buffer(3);
+        assert_eq!(c.peak_buffer_words, 10);
+        c.on_buffer(20);
+        assert_eq!(c.peak_buffer_words, 20);
+    }
+}

@@ -1,0 +1,100 @@
+//! Messages exchanged between simulated ranks.
+
+use std::any::Any;
+
+/// Data that can be sent between ranks.
+///
+/// The machine charges bandwidth by *words*; a word is one `f64`-sized
+/// element. Implementors report how many words their wire representation
+/// occupies so the cost accounting matches the paper's word counts.
+pub trait Payload: Send + 'static {
+    /// Number of machine words this payload occupies on the wire.
+    fn words(&self) -> usize;
+}
+
+impl Payload for Vec<f64> {
+    fn words(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Payload for Vec<u64> {
+    fn words(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Payload for Vec<usize> {
+    fn words(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Payload for f64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Payload for u64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Payload for usize {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+/// The unit payload: a pure synchronization message of zero words
+/// (only the latency α is charged).
+impl Payload for () {
+    fn words(&self) -> usize {
+        0
+    }
+}
+
+/// A typed message envelope traveling through the simulated network.
+pub(crate) struct Envelope {
+    /// World rank of the sender.
+    pub src: usize,
+    /// Communicator id + user tag; receives match on both.
+    pub tag: (u64, u64),
+    /// Word count, for cost accounting on the receive side.
+    pub words: usize,
+    /// Sender's clock when the message was dispatched.
+    pub sender_ready: f64,
+    /// The type-erased payload; downcast on receive.
+    pub payload: Box<dyn Any + Send>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_counts() {
+        assert_eq!(vec![1.0f64; 7].words(), 7);
+        assert_eq!(vec![1u64, 2, 3].words(), 3);
+        assert_eq!(vec![1usize; 5].words(), 5);
+        assert_eq!(3.5f64.words(), 1);
+        assert_eq!(7u64.words(), 1);
+        assert_eq!(9usize.words(), 1);
+        assert_eq!(().words(), 0);
+    }
+
+    #[test]
+    fn envelope_downcast_roundtrip() {
+        let e = Envelope {
+            src: 3,
+            tag: (0, 42),
+            words: 2,
+            sender_ready: 1.5,
+            payload: Box::new(vec![1.0f64, 2.0]),
+        };
+        let v = e.payload.downcast::<Vec<f64>>().expect("type should match");
+        assert_eq!(*v, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,229 @@
+//! The SPMD runner: spawns one OS thread per simulated rank, executes the
+//! user closure, and collects results plus the cost report.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::unbounded;
+use parking_lot::Mutex;
+
+use crate::comm::{Comm, World};
+use crate::cost::{CostModel, CostReport, RankCost};
+
+/// Output of one machine run: the per-rank results of the SPMD closure and
+/// the aggregated communication/computation cost report.
+#[derive(Debug)]
+pub struct RunOutput<R> {
+    /// Closure results, indexed by world rank.
+    pub results: Vec<R>,
+    /// Cost accounting for the whole run.
+    pub cost: CostReport,
+    /// Per-rank event timelines, present when tracing was enabled.
+    pub traces: Option<Vec<crate::trace::Timeline>>,
+}
+
+/// A simulated distributed-memory machine with `P` processors, a fully
+/// connected network with bidirectional links, and α-β-γ cost accounting
+/// (§3.2 of the paper).
+///
+/// ```
+/// use syrk_machine::{Machine, CostModel};
+///
+/// let out = Machine::new(4).run(|comm| {
+///     // Each rank contributes its rank; ranks all-reduce the sum.
+///     let mine = vec![comm.rank() as f64];
+///     let total = comm.all_reduce(&mine);
+///     total[0]
+/// });
+/// assert!(out.results.iter().all(|&r| r == 6.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    size: usize,
+    model: CostModel,
+    timeout: Duration,
+    tracing: bool,
+}
+
+impl Machine {
+    /// A machine with `size` processors and bandwidth-only cost accounting
+    /// (α = γ = 0, β = 1), so that clocks directly report word counts.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "a machine needs at least one processor");
+        Machine {
+            size,
+            model: CostModel::bandwidth_only(),
+            timeout: Duration::from_secs(120),
+            tracing: false,
+        }
+    }
+
+    /// Enable per-rank communication-event tracing (see
+    /// [`RunOutput::traces`]).
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Set the α-β-γ cost model.
+    pub fn with_model(mut self, model: CostModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Set the deadlock-detection timeout for blocking receives.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Number of processors.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `f` in SPMD fashion on every rank and collect results and costs.
+    ///
+    /// Panics in any rank are propagated to the caller after all other
+    /// ranks have been joined or abandoned.
+    pub fn run<R, F>(&self, f: F) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
+        let p = self.size;
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let world = Arc::new(World {
+            size: p,
+            model: self.model,
+            senders,
+            costs: (0..p).map(|_| Mutex::new(RankCost::default())).collect(),
+            timeout: self.timeout,
+            poisoned: AtomicBool::new(false),
+            traces: self
+                .tracing
+                .then(|| (0..p).map(|_| Mutex::new(Vec::new())).collect()),
+        });
+
+        let results: Vec<R> = {
+            let handles: Vec<_> = std::thread::scope(|s| {
+                receivers
+                    .into_iter()
+                    .enumerate()
+                    .map(|(rank, rx)| {
+                        let world = Arc::clone(&world);
+                        let f = &f;
+                        s.spawn(move || {
+                            let comm = Comm::new_world(Arc::clone(&world), rank, rx);
+                            let r = panic::catch_unwind(AssertUnwindSafe(|| f(comm)));
+                            if r.is_err() {
+                                world.poisoned.store(true, Ordering::Relaxed);
+                            }
+                            r
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join())
+                    .collect()
+            });
+            // Propagate the first panic (if any) after every thread ended.
+            handles
+                .into_iter()
+                .map(|r| match r {
+                    Ok(Ok(v)) => v,
+                    Ok(Err(e)) | Err(e) => panic::resume_unwind(e),
+                })
+                .collect()
+        };
+
+        let world = Arc::try_unwrap(world).unwrap_or_else(|_| {
+            panic!("a Comm outlived the machine run; do not leak communicators from the closure")
+        });
+        let ranks = world.costs.into_iter().map(|m| m.into_inner()).collect();
+        let traces = world
+            .traces
+            .map(|ts| ts.into_iter().map(|m| m.into_inner()).collect());
+        RunOutput {
+            results,
+            cost: CostReport {
+                model: self.model,
+                ranks,
+            },
+            traces,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = Machine::new(1).run(|comm| {
+            assert_eq!(comm.rank(), 0);
+            assert_eq!(comm.size(), 1);
+            42
+        });
+        assert_eq!(out.results, vec![42]);
+        assert_eq!(out.cost.total_words(), 0);
+    }
+
+    #[test]
+    fn results_are_indexed_by_rank() {
+        let out = Machine::new(8).run(|comm| comm.rank() * 10);
+        assert_eq!(out.results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn many_ranks_spawn() {
+        // The simulator must scale to the processor counts used in the
+        // experiments (e.g. P = c(c+1) up to 110 or more).
+        let out = Machine::new(110).run(|comm| comm.size());
+        assert!(out.results.iter().all(|&s| s == 110));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_ranks_rejected() {
+        let _ = Machine::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn rank_panic_propagates() {
+        Machine::new(3).run(|comm| {
+            if comm.rank() == 2 {
+                panic!("deliberate");
+            }
+        });
+    }
+
+    #[test]
+    fn cost_model_is_applied() {
+        let model = CostModel {
+            alpha: 10.0,
+            beta: 2.0,
+            gamma: 0.0,
+        };
+        let out = Machine::new(2).with_model(model).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![1.0f64; 4]);
+            } else {
+                let _: Vec<f64> = comm.recv(0, 0);
+            }
+        });
+        // Sender clock: α + β·4 = 18.
+        assert!((out.cost.ranks[0].clock - 18.0).abs() < 1e-12);
+        assert!((out.cost.elapsed() - 18.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,72 @@
+//! Optional communication-event tracing.
+//!
+//! When enabled on the [`Machine`](crate::Machine), every send, receive,
+//! exchange, and flop batch is recorded with the rank's α-β-γ clock at
+//! completion, producing a per-rank timeline that can be dumped for
+//! inspection (the `trace` binary in `syrk-bench` renders one as CSV).
+
+/// What happened in a traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A point-to-point (or collective-internal) send.
+    Send,
+    /// A point-to-point (or collective-internal) receive.
+    Recv,
+    /// A duplex exchange step (send + receive charged once).
+    Exchange,
+    /// A batch of local arithmetic.
+    Flops,
+}
+
+/// One traced event on one rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// The peer world rank (sends/recvs/exchanges) or `usize::MAX` for
+    /// local work.
+    pub peer: usize,
+    /// Words moved (max of the two directions for an exchange) or flops
+    /// performed.
+    pub amount: u64,
+    /// The rank's α-β-γ clock when the event completed.
+    pub clock: f64,
+}
+
+impl Event {
+    /// CSV row (kind,peer,amount,clock).
+    pub fn to_csv_row(&self) -> String {
+        let peer = if self.peer == usize::MAX {
+            "-".to_string()
+        } else {
+            self.peer.to_string()
+        };
+        format!("{:?},{peer},{},{:.6e}", self.kind, self.amount, self.clock)
+    }
+}
+
+/// A per-rank event log.
+pub type Timeline = Vec<Event>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_row_formats() {
+        let e = Event {
+            kind: EventKind::Send,
+            peer: 3,
+            amount: 10,
+            clock: 1.5,
+        };
+        assert_eq!(e.to_csv_row(), "Send,3,10,1.500000e0");
+        let f = Event {
+            kind: EventKind::Flops,
+            peer: usize::MAX,
+            amount: 7,
+            clock: 0.0,
+        };
+        assert!(f.to_csv_row().starts_with("Flops,-,7,"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Blocked right-looking Cholesky factorization with the trailing update
+//! performed by distributed SYRK — the paper's opening sentence: SYRK
+//! "gets its name from its use as a subroutine within algorithms for
+//! computing the Cholesky decomposition".
+//!
+//! For an SPD `G` and block size `nb`, each step factors a small diagonal
+//! panel sequentially, solves the panel column, and then applies
+//! `A22 ← A22 − L21·L21ᵀ` — a SYRK with a *tall-skinny* input (`L21` is
+//! `(n − k·nb) × nb`): exactly the Case 2 shape where the paper's 2D
+//! triangle-blocked algorithm halves the communication.
+//!
+//! ```text
+//! cargo run --release --example blocked_cholesky
+//! ```
+
+use syrk_repro::core::{gemm_lower_bound, syrk_lower_bound};
+use syrk_repro::dense::{
+    cholesky, max_abs_diff, mul_nt, seeded_matrix, syrk_full_reference, trsm_right_transpose,
+};
+use syrk_repro::{run_auto, CostModel};
+
+fn main() {
+    let (n, nb, p) = (96usize, 16usize, 12usize);
+    // An SPD test matrix: G = B·Bᵀ + n·I.
+    let b = seeded_matrix::<f64>(n, n, 17);
+    let mut g = syrk_full_reference(&b);
+    for i in 0..n {
+        g[(i, i)] += n as f64;
+    }
+
+    println!("blocked Cholesky of a {n}×{n} SPD matrix, block size {nb}, P = {p}");
+    let mut a = g.clone(); // working copy, becomes L in the lower triangle
+    let mut total_words = 0u64;
+    let mut total_bound = 0.0f64;
+    let mut total_gemm_bound = 0.0f64;
+
+    let steps = n / nb;
+    for s in 0..steps {
+        let k0 = s * nb;
+        let trailing = n - k0 - nb;
+        // 1. Factor the diagonal panel (sequential: nb × nb is tiny).
+        let panel = a.block_owned(k0, k0, nb, nb);
+        let l11 = cholesky(&panel).expect("SPD panels");
+        a.set_block(k0, k0, &l11);
+        if trailing == 0 {
+            break;
+        }
+        // 2. Panel column: L21 = A21 · L11⁻ᵀ.
+        let a21 = a.block_owned(k0 + nb, k0, trailing, nb);
+        let l21 = trsm_right_transpose(&a21, &l11);
+        a.set_block(k0 + nb, k0, &l21);
+        // 3. Trailing update via DISTRIBUTED SYRK: A22 −= L21·L21ᵀ.
+        //    L21 is tall-skinny (trailing × nb) — the Cholesky shape.
+        let (plan, run) = run_auto(&l21, p, CostModel::bandwidth_only());
+        total_words += run.cost.max_words_sent();
+        if trailing >= 2 {
+            total_bound += syrk_lower_bound(trailing, nb, p).communicated();
+            total_gemm_bound += gemm_lower_bound(trailing, nb, p).communicated();
+        }
+        let mut a22 = a.block_owned(k0 + nb, k0 + nb, trailing, trailing);
+        let mut update = run.c;
+        update.scale(-1.0);
+        a22.add_assign(&update);
+        a.set_block(k0 + nb, k0 + nb, &a22);
+        println!(
+            "  step {s:>2}: update {trailing:>3}×{trailing:<3} via {plan:?}, {} words",
+            run.cost.max_words_sent()
+        );
+    }
+
+    // Zero the strict upper triangle (scratch residue) and verify.
+    for i in 0..n {
+        for j in i + 1..n {
+            a[(i, j)] = 0.0;
+        }
+    }
+    let recon = mul_nt(&a, &a);
+    let err = max_abs_diff(&recon, &g);
+    println!("‖L·Lᵀ − G‖_max = {err:.2e}");
+    assert!(err < 1e-8, "Cholesky reconstruction failed");
+
+    println!("\ntotal SYRK communication (busiest rank, summed over steps): {total_words}");
+    println!("sum of SYRK bounds:  {total_bound:.0}");
+    println!(
+        "sum of GEMM bounds:  {total_gemm_bound:.0}  (the factor the paper saves: {:.2}x)",
+        total_gemm_bound / total_bound
+    );
+    println!("blocked Cholesky OK — every trailing update ran on the simulated machine.");
+}

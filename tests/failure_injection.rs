@@ -1,0 +1,114 @@
+//! Failure-injection and imbalance-reporting tests (DESIGN.md §5): feed
+//! the algorithms deliberately awkward inputs and verify that (a) they
+//! stay correct and (b) the cost reporting exposes the imbalance instead
+//! of hiding it.
+
+use syrk_repro::core::{syrk_1d, syrk_2d, syrk_3d};
+use syrk_repro::dense::{max_abs_diff, seeded_matrix, syrk_full_reference, syrk_tolerance};
+use syrk_repro::machine::{CostModel, Machine};
+
+#[test]
+fn extreme_aspect_ratios_stay_correct() {
+    // 2×4096 and 200×1.
+    for (n1, n2, p) in [(2usize, 4096usize, 8usize), (200, 1, 6), (3, 1, 7)] {
+        let a = seeded_matrix::<f64>(n1, n2, 1);
+        let run = syrk_1d(&a, p, CostModel::bandwidth_only());
+        let err = max_abs_diff(&run.c, &syrk_full_reference(&a));
+        assert!(
+            err <= syrk_tolerance::<f64>(n2, 1.0),
+            "({n1},{n2},{p}): {err}"
+        );
+    }
+}
+
+#[test]
+fn pathological_magnitudes_survive() {
+    // Entries spanning ~1e±150: products stay finite (1e300 < f64 max)
+    // and the distributed sum matches the sequential one to relative
+    // precision.
+    let (n1, n2) = (12usize, 10usize);
+    let mut a = seeded_matrix::<f64>(n1, n2, 3);
+    for i in 0..n1 {
+        let scale = if i % 2 == 0 { 1e150 } else { 1e-150 };
+        for x in a.row_mut(i) {
+            *x *= scale;
+        }
+    }
+    let run = syrk_2d(&a, 2, CostModel::bandwidth_only());
+    let want = syrk_full_reference(&a);
+    for i in 0..n1 {
+        for j in 0..n1 {
+            let (g, w) = (run.c[(i, j)], want[(i, j)]);
+            assert!(g.is_finite());
+            let rel = (g - w).abs() / w.abs().max(1e-300);
+            assert!(rel < 1e-9, "({i},{j}): {g} vs {w}");
+        }
+    }
+}
+
+#[test]
+fn zero_matrix_moves_the_same_words() {
+    // Communication is data-oblivious: an all-zero input moves exactly
+    // the same words as a dense one (no silent short-circuiting).
+    let (n1, n2, c) = (24usize, 8usize, 2usize);
+    let dense = seeded_matrix::<f64>(n1, n2, 4);
+    let zero = syrk_repro::dense::Matrix::<f64>::zeros(n1, n2);
+    let r1 = syrk_2d(&dense, c, CostModel::bandwidth_only());
+    let r0 = syrk_2d(&zero, c, CostModel::bandwidth_only());
+    assert_eq!(r1.cost.max_words_sent(), r0.cost.max_words_sent());
+    assert_eq!(r0.c.max_abs(), 0.0);
+}
+
+#[test]
+fn uneven_column_split_shows_flop_imbalance() {
+    // n2 = P + 1: one rank gets two columns, the rest one — the report
+    // must expose the 2× local-work imbalance (approximately; the
+    // Reduce-Scatter flops damp it).
+    let (n1, p) = (32usize, 8usize);
+    let a = seeded_matrix::<f64>(n1, p + 1, 5);
+    let run = syrk_1d(&a, p, CostModel::bandwidth_only());
+    let imb = run.cost.flop_imbalance();
+    assert!(imb > 1.3, "imbalance must be visible: {imb}");
+    // And the result is still right.
+    assert!(max_abs_diff(&run.c, &syrk_full_reference(&a)) < 1e-10);
+}
+
+#[test]
+fn ranks_with_no_work_are_handled() {
+    // P greater than n2: most ranks own zero columns in the 1D algorithm.
+    let a = seeded_matrix::<f64>(10, 3, 6);
+    let run = syrk_1d(&a, 9, CostModel::bandwidth_only());
+    assert!(max_abs_diff(&run.c, &syrk_full_reference(&a)) < 1e-12);
+    // Idle ranks still participate in the Reduce-Scatter.
+    assert!(run.cost.ranks.iter().all(|r| r.msgs_sent > 0));
+}
+
+#[test]
+fn three_d_with_p2_larger_than_n2() {
+    // Some slices own zero columns; their 2D bodies compute zero blocks
+    // but must still reduce correctly.
+    let a = seeded_matrix::<f64>(8, 3, 7);
+    let run = syrk_3d(&a, 2, 5, CostModel::bandwidth_only());
+    assert!(max_abs_diff(&run.c, &syrk_full_reference(&a)) < 1e-12);
+}
+
+#[test]
+fn poisoned_run_does_not_hang_the_whole_machine() {
+    // One rank panics mid-collective; the run must abort promptly (the
+    // poison flag) rather than waiting out the full deadlock timeout.
+    let t0 = std::time::Instant::now();
+    let result = std::panic::catch_unwind(|| {
+        Machine::new(4).run(|comm| {
+            if comm.rank() == 2 {
+                panic!("injected fault");
+            }
+            // The others enter a collective that can never complete.
+            comm.all_reduce(&[1.0]);
+        });
+    });
+    assert!(result.is_err());
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(30),
+        "poisoning should abort well before the 120 s timeout"
+    );
+}

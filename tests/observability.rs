@@ -1,0 +1,65 @@
+//! Integration: the observability surface — event tracing through a full
+//! algorithm run, and the planner's public reporting types.
+
+use syrk_repro::core::{syrk_2d_traced, syrk_lower_bound, RankedPlan};
+use syrk_repro::dense::{max_abs_diff, seeded_matrix, syrk_full_reference};
+use syrk_repro::machine::{CostModel, EventKind};
+
+#[test]
+fn traced_2d_run_is_correct_and_fully_logged() {
+    let (n1, n2, c) = (24usize, 6usize, 2usize);
+    let a = seeded_matrix::<f64>(n1, n2, 8);
+    let (run, traces) = syrk_2d_traced(&a, c, CostModel::bandwidth_only());
+    assert!(max_abs_diff(&run.c, &syrk_full_reference(&a)) < 1e-10);
+    assert_eq!(traces.len(), run.cost.num_ranks());
+
+    for (r, tl) in traces.iter().enumerate() {
+        // Each exchange event logs max(w_out, w_in) — and in the pairwise
+        // schedule the send- and receive-partners of a step differ — so
+        // the sum of exchange amounts brackets the true traffic:
+        //   max(sent, recv) ≤ Σ max(out, in) ≤ sent + recv.
+        let exchanged: u64 = tl
+            .iter()
+            .filter(|e| e.kind == EventKind::Exchange)
+            .map(|e| e.amount)
+            .sum();
+        let (sent, recv) = (run.cost.ranks[r].words_sent, run.cost.ranks[r].words_recv);
+        assert!(
+            exchanged >= sent.max(recv),
+            "rank {r}: {exchanged} < {}",
+            sent.max(recv)
+        );
+        assert!(
+            exchanged <= sent + recv,
+            "rank {r}: {exchanged} > {}",
+            sent + recv
+        );
+        // Flop events reconstruct the flop counter.
+        let flops: u64 = tl
+            .iter()
+            .filter(|e| e.kind == EventKind::Flops)
+            .map(|e| e.amount)
+            .sum();
+        assert_eq!(flops, run.cost.ranks[r].flops, "rank {r}");
+        // Clocks are monotone non-decreasing within a rank.
+        assert!(
+            tl.windows(2).all(|w| w[0].clock <= w[1].clock + 1e-12),
+            "rank {r}: clock went backwards"
+        );
+        // CSV rows render for every event.
+        assert!(tl.iter().all(|e| !e.to_csv_row().is_empty()));
+    }
+}
+
+#[test]
+fn planner_report_is_self_consistent() {
+    let rp: RankedPlan = syrk_repro::plan(512, 16, 40);
+    assert!(rp.plan.ranks() <= 40);
+    assert!(rp.predicted_cost.is_finite() && rp.predicted_cost > 0.0);
+    // The reported bound must equal Theorem 1 at the plan's rank count.
+    let expect = syrk_lower_bound(512, 16, rp.plan.ranks()).communicated();
+    assert!((rp.bound - expect).abs() < 1e-9);
+    // A valid plan never promises to beat its own lower bound by much
+    // (tiny slack allowed for the n1±1 discounts).
+    assert!(rp.predicted_cost >= rp.bound * 0.95);
+}
