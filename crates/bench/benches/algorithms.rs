@@ -1,68 +1,64 @@
 //! End-to-end simulated runs of Algorithms 1–3 (timing counterparts of
 //! E5–E7): one group per algorithm/regime.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use syrk_bench::timing::Group;
 use syrk_core::{syr2k_2d, syrk_1d, syrk_2d, syrk_2d_limited, syrk_3d};
 use syrk_dense::seeded_matrix;
 use syrk_machine::CostModel;
 
-fn bench_1d(c: &mut Criterion) {
-    let mut g = c.benchmark_group("alg1d_case1");
-    g.sample_size(15);
+fn bench_1d() {
+    let mut g = Group::new("alg1d_case1");
     for (n1, n2, p) in [(32usize, 512usize, 4usize), (64, 1024, 8)] {
         let a = seeded_matrix::<f64>(n1, n2, 1);
-        g.bench_function(format!("{n1}x{n2}_p{p}"), |bch| {
-            bch.iter(|| syrk_1d(&a, p, CostModel::bandwidth_only()))
+        g.bench(&format!("{n1}x{n2}_p{p}"), || {
+            syrk_1d(&a, p, CostModel::bandwidth_only())
         });
     }
-    g.finish();
 }
 
-fn bench_2d(c: &mut Criterion) {
-    let mut g = c.benchmark_group("alg2d_case2");
-    g.sample_size(15);
+fn bench_2d() {
+    let mut g = Group::new("alg2d_case2");
     for (n1, n2, cc) in [(144usize, 8usize, 3usize), (300, 8, 5)] {
         let a = seeded_matrix::<f64>(n1, n2, 2);
-        g.bench_function(format!("{n1}x{n2}_c{cc}"), |bch| {
-            bch.iter(|| syrk_2d(&a, cc, CostModel::bandwidth_only()))
+        g.bench(&format!("{n1}x{n2}_c{cc}"), || {
+            syrk_2d(&a, cc, CostModel::bandwidth_only())
         });
     }
-    g.finish();
 }
 
-fn bench_3d(c: &mut Criterion) {
-    let mut g = c.benchmark_group("alg3d_case3");
-    g.sample_size(15);
+fn bench_3d() {
+    let mut g = Group::new("alg3d_case3");
     for (n1, n2, cc, p2) in [(72usize, 72usize, 2usize, 3usize), (96, 96, 3, 2)] {
         let a = seeded_matrix::<f64>(n1, n2, 3);
-        g.bench_function(format!("{n1}x{n2}_c{cc}_p2{p2}"), |bch| {
-            bch.iter(|| syrk_3d(&a, cc, p2, CostModel::bandwidth_only()))
+        g.bench(&format!("{n1}x{n2}_c{cc}_p2{p2}"), || {
+            syrk_3d(&a, cc, p2, CostModel::bandwidth_only())
         });
     }
-    g.finish();
 }
 
-fn bench_extensions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("extensions");
-    g.sample_size(15);
+fn bench_extensions() {
+    let mut g = Group::new("extensions");
     let a = seeded_matrix::<f64>(144, 8, 4);
     let b = seeded_matrix::<f64>(144, 8, 5);
-    g.bench_function("syr2k_2d_c3", |bch| {
-        bch.iter(|| syr2k_2d(&a, &b, 3, CostModel::bandwidth_only()))
+    g.bench("syr2k_2d_c3", || {
+        syr2k_2d(&a, &b, 3, CostModel::bandwidth_only())
     });
     let a2 = seeded_matrix::<f64>(72, 96, 6);
     for rounds in [1usize, 4, 16] {
-        g.bench_function(format!("limited_2d_c3_r{rounds}"), |bch| {
-            bch.iter(|| syrk_2d_limited(&a2, 3, rounds, CostModel::bandwidth_only()))
+        g.bench(&format!("limited_2d_c3_r{rounds}"), || {
+            syrk_2d_limited(&a2, 3, rounds, CostModel::bandwidth_only())
         });
     }
     // Prime-power grid (c = 4, P = 20 — impossible with the cyclic scheme).
     let a3 = seeded_matrix::<f64>(64, 6, 7);
-    g.bench_function("syrk_2d_c4_affine_p20", |bch| {
-        bch.iter(|| syrk_2d(&a3, 4, CostModel::bandwidth_only()))
+    g.bench("syrk_2d_c4_affine_p20", || {
+        syrk_2d(&a3, 4, CostModel::bandwidth_only())
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_1d, bench_2d, bench_3d, bench_extensions);
-criterion_main!(benches);
+fn main() {
+    bench_1d();
+    bench_2d();
+    bench_3d();
+    bench_extensions();
+}

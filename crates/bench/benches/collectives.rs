@@ -2,61 +2,48 @@
 //! counterpart): pairwise exchange vs Bruck all-to-all, reduce-scatter,
 //! all-gather.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use syrk_bench::timing::Group;
 use syrk_machine::{CollectiveAlg, Machine};
 
-fn bench_alltoall(c: &mut Criterion) {
-    let mut g = c.benchmark_group("all_to_all");
-    g.sample_size(20);
+fn bench_alltoall() {
+    let mut g = Group::new("all_to_all");
     for p in [8usize, 16] {
         for b in [64usize, 1024] {
-            g.bench_function(format!("pairwise_p{p}_b{b}"), |bch| {
-                bch.iter(|| {
-                    Machine::new(p).run(|comm| {
-                        comm.all_to_all_with(vec![vec![1.0; b]; p], CollectiveAlg::PairwiseExchange)
-                    })
+            g.bench(&format!("pairwise_p{p}_b{b}"), || {
+                Machine::new(p).run(|comm| {
+                    comm.all_to_all_with(vec![vec![1.0; b]; p], CollectiveAlg::PairwiseExchange)
                 })
             });
-            g.bench_function(format!("bruck_p{p}_b{b}"), |bch| {
-                bch.iter(|| {
-                    Machine::new(p).run(|comm| {
-                        comm.all_to_all_with(vec![vec![1.0; b]; p], CollectiveAlg::Bruck)
-                    })
-                })
+            g.bench(&format!("bruck_p{p}_b{b}"), || {
+                Machine::new(p)
+                    .run(|comm| comm.all_to_all_with(vec![vec![1.0; b]; p], CollectiveAlg::Bruck))
             });
         }
     }
-    g.finish();
 }
 
-fn bench_reduce_scatter(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reduce_scatter");
-    g.sample_size(20);
+fn bench_reduce_scatter() {
+    let mut g = Group::new("reduce_scatter");
     for p in [8usize, 16] {
         for b in [64usize, 1024] {
-            g.bench_function(format!("pairwise_p{p}_b{b}"), |bch| {
-                bch.iter(|| Machine::new(p).run(|comm| comm.reduce_scatter(vec![vec![1.0; b]; p])))
+            g.bench(&format!("pairwise_p{p}_b{b}"), || {
+                Machine::new(p).run(|comm| comm.reduce_scatter(vec![vec![1.0; b]; p]))
             });
         }
     }
-    g.finish();
 }
 
-fn bench_allgather(c: &mut Criterion) {
-    let mut g = c.benchmark_group("all_gather");
-    g.sample_size(20);
+fn bench_allgather() {
+    let mut g = Group::new("all_gather");
     for p in [8usize, 16] {
-        g.bench_function(format!("pairwise_p{p}"), |bch| {
-            bch.iter(|| Machine::new(p).run(|comm| comm.all_gather(vec![1.0; 512])))
+        g.bench(&format!("pairwise_p{p}"), || {
+            Machine::new(p).run(|comm| comm.all_gather(vec![1.0; 512]))
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_alltoall,
-    bench_reduce_scatter,
-    bench_allgather
-);
-criterion_main!(benches);
+fn main() {
+    bench_alltoall();
+    bench_reduce_scatter();
+    bench_allgather();
+}

@@ -1,48 +1,42 @@
 //! Lower-bound-side benchmarks: Lemma 6 solvers, KKT verification,
 //! triangle block distribution construction, and Lemma 3 checks.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use syrk_bench::timing::Group;
 use syrk_core::TriangleBlockDist;
 use syrk_geometry::{check_symmetric_lw, Lemma6Problem, SyrkIterationSpace};
 
-fn bench_lemma6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lemma6");
+fn bench_lemma6() {
+    let mut g = Group::new("lemma6");
     let pr = Lemma6Problem::new(4096, 512, 3000);
-    g.bench_function("analytic", |b| {
-        b.iter(|| black_box(&pr).analytic_solution())
+    g.bench("analytic", || black_box(&pr).analytic_solution());
+    g.bench("numeric_golden_section", || {
+        black_box(&pr).numeric_solution()
     });
-    g.bench_function("numeric_golden_section", |b| {
-        b.iter(|| black_box(&pr).numeric_solution())
-    });
-    g.bench_function("kkt_verify", |b| b.iter(|| black_box(&pr).verify_kkt()));
-    g.finish();
+    g.bench("kkt_verify", || black_box(&pr).verify_kkt());
 }
 
-fn bench_distribution(c: &mut Criterion) {
-    let mut g = c.benchmark_group("triangle_block_dist");
+fn bench_distribution() {
+    let mut g = Group::new("triangle_block_dist");
     for cc in [3usize, 7, 13, 23] {
-        g.bench_function(format!("build_c{cc}"), |b| {
-            b.iter(|| TriangleBlockDist::new(cc))
-        });
+        g.bench(&format!("build_c{cc}"), || TriangleBlockDist::new(cc));
     }
     let d = TriangleBlockDist::new(13);
-    g.bench_function("validate_c13", |b| {
-        b.iter(|| black_box(&d).validate().unwrap())
-    });
-    g.finish();
+    g.bench("validate_c13", || black_box(&d).validate().unwrap());
 }
 
-fn bench_lemma3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lemma3_check");
+fn bench_lemma3() {
+    let mut g = Group::new("lemma3_check");
     for (n1, n2) in [(16usize, 8usize), (32, 8)] {
         let v = SyrkIterationSpace::new(n1, n2).enumerate_strict();
-        g.bench_function(format!("prism_{n1}x{n2}"), |b| {
-            b.iter(|| check_symmetric_lw(black_box(&v)))
+        g.bench(&format!("prism_{n1}x{n2}"), || {
+            check_symmetric_lw(black_box(&v))
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_lemma6, bench_distribution, bench_lemma3);
-criterion_main!(benches);
+fn main() {
+    bench_lemma6();
+    bench_distribution();
+    bench_lemma3();
+}

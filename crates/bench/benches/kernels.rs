@@ -1,59 +1,138 @@
 //! Local kernel benchmarks: the per-rank building blocks of Algorithms
-//! 1–3. The headline micro-claim mirrored here: local SYRK does ~half the
-//! work of local GEMM for the same product.
+//! 1–3, A/B-compared against the scalar reference kernels.
+//!
+//! Besides printing a table, this bench emits `BENCH_kernels.json`
+//! (override the path with `SYRK_BENCH_JSON`) recording before/after
+//! GFLOP/s for `gemm_nt` and `syrk_packed` and a thread-scaling sweep of
+//! the flop-balanced triangular schedule. `SYRK_BENCH_FAST=1` shrinks
+//! the problem to smoke size.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use syrk_dense::{gemm_nt, gemm_nt_ref, seeded_matrix, syrk_packed_new, Diag, Matrix};
+use std::fmt::Write as _;
+use syrk_bench::timing::{fast_mode, Group, Measurement};
+use syrk_dense::{
+    gemm_flops, gemm_nt, gemm_nt_ref, limit_threads, seeded_matrix, syrk_flops, syrk_lower_ref,
+    syrk_packed_new, Diag, Matrix,
+};
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("local_gemm_nt");
-    for n in [64usize, 128, 256] {
-        let a = seeded_matrix::<f64>(n, n, 1);
-        let b = seeded_matrix::<f64>(n, n, 2);
-        g.bench_function(format!("blocked_{n}"), |bch| {
-            bch.iter(|| {
-                let mut out = Matrix::zeros(n, n);
-                gemm_nt(&mut out, black_box(&a), black_box(&b));
-                out
-            })
-        });
-        if n <= 128 {
-            g.bench_function(format!("reference_{n}"), |bch| {
-                bch.iter(|| {
-                    let mut out = Matrix::zeros(n, n);
-                    gemm_nt_ref(&mut out, black_box(&a), black_box(&b));
-                    out
-                })
-            });
-        }
-    }
-    g.finish();
+struct Entry {
+    kernel: &'static str,
+    variant: &'static str,
+    threads: usize,
+    seconds: f64,
+    gflops: f64,
 }
 
-fn bench_syrk(c: &mut Criterion) {
-    let mut g = c.benchmark_group("local_syrk");
-    for (n, k) in [(128usize, 64usize), (256, 64), (256, 256)] {
-        let a = seeded_matrix::<f64>(n, k, 3);
-        g.bench_function(format!("packed_{n}x{k}"), |bch| {
-            bch.iter(|| syrk_packed_new(black_box(&a), Diag::Inclusive))
-        });
-    }
-    // The factor-2 story at the kernel level: n×n SYRK vs n×n GEMM.
-    let n = 192;
-    let a = seeded_matrix::<f64>(n, n, 4);
-    g.bench_function(format!("syrk_vs_gemm_syrk_{n}"), |bch| {
-        bch.iter(|| syrk_packed_new(black_box(&a), Diag::Inclusive))
+fn record(
+    entries: &mut Vec<Entry>,
+    kernel: &'static str,
+    variant: &'static str,
+    threads: usize,
+    m: &Measurement,
+    flops: u64,
+) {
+    entries.push(Entry {
+        kernel,
+        variant,
+        threads,
+        seconds: m.median,
+        gflops: m.gflops(flops),
     });
-    g.bench_function(format!("syrk_vs_gemm_gemm_{n}"), |bch| {
-        bch.iter(|| {
+}
+
+fn main() {
+    let (n, k) = if fast_mode() {
+        (128usize, 128usize)
+    } else {
+        (512usize, 512usize)
+    };
+    let a = seeded_matrix::<f64>(n, k, 1);
+    let b = seeded_matrix::<f64>(n, k, 2);
+    let gflops = gemm_flops(n, n, k);
+    let sflops = syrk_flops(n, k);
+    let mut entries = Vec::new();
+
+    // Single-thread A/B: reference kernels vs the packed register-blocked
+    // kernels, same problem, same thread count.
+    let mut g = Group::new(&format!("kernels_ab_n{n}_k{k}_1thread"));
+    {
+        let _guard = limit_threads(1);
+        let m = g.bench("gemm_nt_ref", || {
             let mut out = Matrix::zeros(n, n);
-            gemm_nt(&mut out, black_box(&a), black_box(&a));
+            gemm_nt_ref(&mut out, &a, &b);
             out
-        })
-    });
-    g.finish();
-}
+        });
+        record(&mut entries, "gemm_nt", "reference", 1, &m, gflops);
+        let m = g.bench("gemm_nt_packed", || {
+            let mut out = Matrix::zeros(n, n);
+            gemm_nt(&mut out, &a, &b);
+            out
+        });
+        record(&mut entries, "gemm_nt", "packed", 1, &m, gflops);
+        let m = g.bench("syrk_lower_ref", || {
+            let mut out = Matrix::zeros(n, n);
+            syrk_lower_ref(&mut out, &a);
+            out
+        });
+        record(&mut entries, "syrk_packed", "reference", 1, &m, sflops);
+        let m = g.bench("syrk_packed", || syrk_packed_new(&a, Diag::Inclusive));
+        record(&mut entries, "syrk_packed", "packed", 1, &m, sflops);
+    }
 
-criterion_group!(benches, bench_gemm, bench_syrk);
-criterion_main!(benches);
+    // Thread scaling of the flop-balanced triangular schedule. On a
+    // single-core host the extra threads are OS threads sharing one CPU,
+    // so expect ~1×; hw_threads in the JSON says which case this was.
+    let mut g = Group::new(&format!("syrk_packed_thread_scaling_n{n}_k{k}"));
+    for threads in [1usize, 2, 4] {
+        let _guard = limit_threads(threads);
+        let m = g.bench(&format!("threads_{threads}"), || {
+            syrk_packed_new(&a, Diag::Inclusive)
+        });
+        record(&mut entries, "syrk_packed", "packed", threads, &m, sflops);
+    }
+
+    let speedup = |kernel: &str| {
+        let find = |variant: &str| {
+            entries
+                .iter()
+                .find(|e| e.kernel == kernel && e.variant == variant && e.threads == 1)
+                .map(|e| e.seconds)
+        };
+        match (find("reference"), find("packed")) {
+            (Some(r), Some(p)) => r / p,
+            _ => f64::NAN,
+        }
+    };
+    let gemm_speedup = speedup("gemm_nt");
+    let syrk_speedup = speedup("syrk_packed");
+    println!("\nsingle-thread speedup vs reference: gemm_nt {gemm_speedup:.2}x, syrk_packed {syrk_speedup:.2}x");
+
+    // Hand-rolled JSON (the workspace has no serializer dependency).
+    let hw = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"kernels\",");
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"k\": {k},");
+    let _ = writeln!(json, "  \"fast_mode\": {},", fast_mode());
+    let _ = writeln!(json, "  \"hw_threads\": {hw},");
+    let _ = writeln!(
+        json,
+        "  \"single_thread_speedup\": {{ \"gemm_nt\": {gemm_speedup:.3}, \"syrk_packed\": {syrk_speedup:.3} }},"
+    );
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"kernel\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \"seconds\": {:.6e}, \"gflops\": {:.3} }}{comma}",
+            e.kernel, e.variant, e.threads, e.seconds, e.gflops
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    let path = std::env::var("SYRK_BENCH_JSON").unwrap_or_else(|_| "BENCH_kernels.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+}

@@ -3,7 +3,7 @@
 //! realistic α-β-γ model, where both flops and words contribute to the
 //! simulated critical path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use syrk_bench::timing::Group;
 use syrk_core::{gemm_1d, gemm_2d, gemm_3d, scalapack_syrk_2d, syrk_1d, syrk_2d, syrk_3d};
 use syrk_dense::seeded_matrix;
 use syrk_machine::CostModel;
@@ -12,39 +12,30 @@ fn model() -> CostModel {
     CostModel::typical()
 }
 
-fn bench_case1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("headline_case1");
-    g.sample_size(12);
+fn bench_case1() {
+    let mut g = Group::new("headline_case1");
     let a = seeded_matrix::<f64>(64, 1024, 1);
-    g.bench_function("syrk_1d_p8", |b| b.iter(|| syrk_1d(&a, 8, model())));
-    g.bench_function("gemm_1d_p8", |b| b.iter(|| gemm_1d(&a, 8, model())));
-    g.finish();
+    g.bench("syrk_1d_p8", || syrk_1d(&a, 8, model()));
+    g.bench("gemm_1d_p8", || gemm_1d(&a, 8, model()));
 }
 
-fn bench_case2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("headline_case2");
-    g.sample_size(12);
+fn bench_case2() {
+    let mut g = Group::new("headline_case2");
     let a = seeded_matrix::<f64>(360, 8, 2);
-    g.bench_function("syrk_2d_c5_p30", |b| b.iter(|| syrk_2d(&a, 5, model())));
-    g.bench_function("gemm_2d_r6_p36", |b| b.iter(|| gemm_2d(&a, 6, model())));
-    g.bench_function("scalapack_r6_p36", |b| {
-        b.iter(|| scalapack_syrk_2d(&a, 6, model()))
-    });
-    g.finish();
+    g.bench("syrk_2d_c5_p30", || syrk_2d(&a, 5, model()));
+    g.bench("gemm_2d_r6_p36", || gemm_2d(&a, 6, model()));
+    g.bench("scalapack_r6_p36", || scalapack_syrk_2d(&a, 6, model()));
 }
 
-fn bench_case3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("headline_case3");
-    g.sample_size(12);
+fn bench_case3() {
+    let mut g = Group::new("headline_case3");
     let a = seeded_matrix::<f64>(96, 96, 3);
-    g.bench_function("syrk_3d_c2_p2x3_p18", |b| {
-        b.iter(|| syrk_3d(&a, 2, 3, model()))
-    });
-    g.bench_function("gemm_3d_r2_p2x4_p16", |b| {
-        b.iter(|| gemm_3d(&a, 2, 4, model()))
-    });
-    g.finish();
+    g.bench("syrk_3d_c2_p2x3_p18", || syrk_3d(&a, 2, 3, model()));
+    g.bench("gemm_3d_r2_p2x4_p16", || gemm_3d(&a, 2, 4, model()));
 }
 
-criterion_group!(benches, bench_case1, bench_case2, bench_case3);
-criterion_main!(benches);
+fn main() {
+    bench_case1();
+    bench_case2();
+    bench_case3();
+}

@@ -3,13 +3,15 @@
 //! Regenerates every table and figure of the SPAA '23 SYRK paper from the
 //! implementation (see DESIGN.md's per-experiment index). The
 //! `experiments` binary prints aligned text tables and writes CSVs; the
-//! Criterion benches under `benches/` time the kernels, the collectives,
-//! and the full simulated algorithms.
+//! benches under `benches/` (built on the in-repo [`timing`] harness)
+//! time the kernels, the collectives, and the full simulated algorithms.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod table;
+pub mod timing;
 
 pub use experiments::{all, Experiment};
 pub use table::{fnum, Table};
+pub use timing::{fast_mode, Group, Measurement};

@@ -1,0 +1,165 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The workspace builds without external crates, so the benches under
+//! `benches/` time themselves with this harness instead of Criterion:
+//! per benchmark, the iteration count is calibrated to a target sample
+//! budget, several samples are taken, and the median per-iteration time
+//! is reported (the median is robust to the occasional scheduler
+//! hiccup a mean would absorb).
+//!
+//! Set `SYRK_BENCH_FAST=1` to shrink budgets to smoke-test levels —
+//! CI runs every bench this way to catch bit-rot without paying for
+//! statistics.
+
+use std::time::Instant;
+
+/// Whether fast (smoke) mode is active (`SYRK_BENCH_FAST` set non-empty
+/// and not `"0"`).
+pub fn fast_mode() -> bool {
+    std::env::var("SYRK_BENCH_FAST")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// One benchmark's measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Group this benchmark belongs to.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Median seconds per iteration.
+    pub median: f64,
+    /// Minimum seconds per iteration over all samples.
+    pub min: f64,
+    /// Iterations per sample (calibrated).
+    pub iters: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+impl Measurement {
+    /// Throughput in GFLOP/s for an operation of `flops` floating ops.
+    pub fn gflops(&self, flops: u64) -> f64 {
+        flops as f64 / self.median / 1e9
+    }
+}
+
+/// A named group of benchmarks, printed as an aligned block.
+pub struct Group {
+    name: String,
+    sample_budget: f64,
+    samples: usize,
+    results: Vec<Measurement>,
+}
+
+impl Group {
+    /// Start a group; prints its header immediately.
+    pub fn new(name: &str) -> Self {
+        let (sample_budget, samples) = if fast_mode() { (0.002, 2) } else { (0.05, 7) };
+        println!("\n== {name} ==");
+        Group {
+            name: name.to_string(),
+            sample_budget,
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f`, print one result line, and record the measurement.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> Measurement {
+        // Calibrate: double the iteration count until one batch fills
+        // the sample budget.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let dt = t.elapsed().as_secs_f64();
+            if dt >= self.sample_budget || iters >= 1 << 30 {
+                break;
+            }
+            // Jump close to the budget once we have a usable estimate.
+            iters = if dt > self.sample_budget / 50.0 {
+                ((self.sample_budget / dt.max(1e-9)) * iters as f64).ceil() as u64
+            } else {
+                iters * 8
+            };
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let m = Measurement {
+            group: self.name.clone(),
+            name: name.to_string(),
+            median: per_iter[per_iter.len() / 2],
+            min: per_iter[0],
+            iters,
+            samples: self.samples,
+        };
+        println!(
+            "  {:<36} {:>12}  ({} iters x {} samples)",
+            m.name,
+            format_time(m.median),
+            m.iters,
+            m.samples
+        );
+        self.results.push(m.clone());
+        m
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// Human-readable seconds.
+pub fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        std::env::set_var("SYRK_BENCH_FAST", "1");
+        let mut g = Group::new("test");
+        let m = g.bench("spin", || {
+            let mut s = 0u64;
+            for i in 0..100u64 {
+                s = s.wrapping_add(i * i);
+            }
+            s
+        });
+        assert!(m.median > 0.0);
+        assert!(m.min <= m.median);
+        assert!(m.gflops(200) > 0.0);
+    }
+
+    #[test]
+    fn formats_scales() {
+        assert!(format_time(2.5).ends_with(" s"));
+        assert!(format_time(2.5e-3).ends_with(" ms"));
+        assert!(format_time(2.5e-6).ends_with(" us"));
+        assert!(format_time(2.5e-9).ends_with(" ns"));
+    }
+}

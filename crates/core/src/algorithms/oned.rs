@@ -9,7 +9,10 @@
 //! Bandwidth cost (eq. (3)): `(n1(n1+1)/2)·(1 − 1/P)`, matching the
 //! Case 1 lower bound's leading term `n1(n1−1)/2`.
 
-use syrk_dense::{syrk_flops, syrk_packed_new, Diag, Matrix, PackedLower, Partition1D};
+use syrk_dense::{
+    limit_threads, machine_thread_budget, syrk_flops, syrk_packed_new, Diag, Matrix, PackedLower,
+    Partition1D,
+};
 use syrk_machine::{CostModel, Machine, ReduceScatterAlg};
 
 use super::common::SyrkRunResult;
@@ -40,6 +43,9 @@ pub fn syrk_1d_with(
     let segments = Partition1D::new(packed_len, p);
 
     let machine = Machine::new(p).with_model(model);
+    // Split the hardware threads evenly across the simulated ranks so the
+    // per-rank local SYRK doesn't oversubscribe the host.
+    let _threads = limit_threads(machine_thread_budget(p));
     let out = machine.run(|comm| {
         let l = comm.rank();
         // Line 2–3: local SYRK on the owned column block A_ℓ.

@@ -9,7 +9,7 @@
 //! Bandwidth cost (eq. (12)): `n1n2/(√p1·p2) + n1²/(2p1)` to leading
 //! order.
 
-use syrk_dense::{Diag, Matrix, PackedLower, Partition1D};
+use syrk_dense::{limit_threads, machine_thread_budget, Diag, Matrix, PackedLower, Partition1D};
 use syrk_machine::{CostModel, Machine, ProcessGrid};
 
 use super::common::{assemble_c, DiagBlock, LocalOutput, OffDiagBlock, SyrkRunResult};
@@ -51,50 +51,85 @@ impl CkLayout {
         }
     }
 
-    fn flatten(&self, out: &LocalOutput) -> Vec<f64> {
-        let mut flat = Vec::with_capacity(self.total);
+    /// Build the per-destination Reduce-Scatter payloads directly from the
+    /// block storage: each of the `lens[q]`-sized segments is filled by
+    /// walking the blocks in layout order, so the data is copied exactly
+    /// once (block → segment) with no intermediate flat buffer.
+    fn segments(&self, out: &LocalOutput, lens: &[usize]) -> Vec<Vec<f64>> {
+        let mut srcs: Vec<&[f64]> = Vec::with_capacity(self.offdiag.len() + 1);
         for (idx, &(i, j, ri, rj)) in self.offdiag.iter().enumerate() {
             let blk = &out.offdiag[idx];
             assert_eq!((blk.i, blk.j), (i, j), "layout order mismatch");
             assert_eq!(blk.data.shape(), (ri, rj));
-            flat.extend_from_slice(blk.data.as_slice());
+            srcs.push(blk.data.as_slice());
         }
         if let Some((i, n)) = self.diag {
             let blk = &out.diag[0];
             assert_eq!(blk.i, i);
             assert_eq!(blk.data.n(), n);
-            flat.extend_from_slice(blk.data.as_slice());
+            srcs.push(blk.data.as_slice());
         }
-        debug_assert_eq!(flat.len(), self.total);
-        flat
+        debug_assert_eq!(srcs.iter().map(|s| s.len()).sum::<usize>(), self.total);
+        assert_eq!(lens.iter().sum::<usize>(), self.total);
+        let mut segs: Vec<Vec<f64>> = lens.iter().map(|&l| Vec::with_capacity(l)).collect();
+        let mut q = 0;
+        for mut src in srcs {
+            while !src.is_empty() {
+                while segs[q].len() == lens[q] {
+                    q += 1;
+                }
+                let take = src.len().min(lens[q] - segs[q].len());
+                let (head, tail) = src.split_at(take);
+                segs[q].extend_from_slice(head);
+                src = tail;
+            }
+        }
+        segs
     }
 
-    fn unflatten(&self, flat: &[f64]) -> LocalOutput {
+    /// Rebuild a `LocalOutput` from the reduced segments (in ℓ order),
+    /// reading across segment boundaries with a cursor — the inverse of
+    /// [`CkLayout::segments`], again with a single block-sized copy and no
+    /// concatenated flat buffer.
+    fn assemble(&self, segs: &[Vec<f64>]) -> LocalOutput {
         assert_eq!(
-            flat.len(),
+            segs.iter().map(Vec::len).sum::<usize>(),
             self.total,
-            "flat C_k buffer has the wrong length"
+            "C_k segments have the wrong total length"
         );
+        let (mut q, mut off) = (0usize, 0usize);
+        let mut take = |len: usize| -> Vec<f64> {
+            let mut buf = Vec::with_capacity(len);
+            while buf.len() < len {
+                if off == segs[q].len() {
+                    q += 1;
+                    off = 0;
+                    continue;
+                }
+                let n = (len - buf.len()).min(segs[q].len() - off);
+                buf.extend_from_slice(&segs[q][off..off + n]);
+                off += n;
+            }
+            buf
+        };
         let mut out = LocalOutput::default();
-        let mut off = 0;
         for &(i, j, ri, rj) in &self.offdiag {
-            let len = ri * rj;
             out.offdiag.push(OffDiagBlock {
                 i,
                 j,
-                data: Matrix::from_vec(ri, rj, flat[off..off + len].to_vec()),
+                data: Matrix::from_vec(ri, rj, take(ri * rj)),
             });
-            off += len;
         }
         if let Some((i, n)) = self.diag {
-            let len = Diag::Inclusive.packed_len(n);
             out.diag.push(DiagBlock {
                 i,
-                data: PackedLower::from_vec(n, Diag::Inclusive, flat[off..off + len].to_vec()),
+                data: PackedLower::from_vec(
+                    n,
+                    Diag::Inclusive,
+                    take(Diag::Inclusive.packed_len(n)),
+                ),
             });
-            off += len;
         }
-        debug_assert_eq!(off, flat.len());
         out
     }
 }
@@ -113,6 +148,9 @@ pub fn syrk_3d(a: &Matrix<f64>, c: usize, p2: usize, model: CostModel) -> SyrkRu
     let grid = ProcessGrid::new(p1, p2);
 
     let machine = Machine::new(p1 * p2).with_model(model);
+    // Split the hardware threads evenly across the simulated ranks so the
+    // per-rank kernels don't oversubscribe the host.
+    let _threads = limit_threads(machine_thread_budget(p1 * p2));
     let out = machine.run(|mut comm| {
         let gc = grid.split(&mut comm);
         // Line 3: run 2D SYRK within the slice on block column A_{*ℓ}.
@@ -120,11 +158,13 @@ pub fn syrk_3d(a: &Matrix<f64>, c: usize, p2: usize, model: CostModel) -> SyrkRu
         let a_col = a.block_owned(0, cr.start, n1, cr.len());
         let ad = ConformalADist::new(&dist, n1, cr.len());
         let local = twod_body(&gc.slice, &dist, &ad, &a_col);
-        // Lines 4–5: Reduce-Scatter the partial C_k across Π_{k*}.
+        // Lines 4–5: Reduce-Scatter the partial C_k across Π_{k*}. The
+        // payloads are built straight from the block storage (no flat
+        // concatenation) and handed to the segment-based collective, which
+        // moves exactly the same words as the block interface.
         let layout = CkLayout::new(&dist, &rows, gc.k);
-        let flat = layout.flatten(&local);
-        let seg = Partition1D::new(flat.len(), p2);
-        let mine = gc.row.reduce_scatter_block(&flat, &seg.lens());
+        let seg = Partition1D::new(layout.total, p2);
+        let mine = gc.row.reduce_scatter(layout.segments(&local, &seg.lens()));
         (gc.k, gc.l, mine)
     });
 
@@ -137,8 +177,8 @@ pub fn syrk_3d(a: &Matrix<f64>, c: usize, p2: usize, model: CostModel) -> SyrkRu
     let mut outputs = Vec::with_capacity(p1);
     for (k, mut segs) in per_k.into_iter().enumerate() {
         segs.sort_by_key(|&(l, _)| l);
-        let flat: Vec<f64> = segs.into_iter().flat_map(|(_, s)| s).collect();
-        outputs.push(CkLayout::new(&dist, &rows, k).unflatten(&flat));
+        let segs: Vec<Vec<f64>> = segs.into_iter().map(|(_, s)| s).collect();
+        outputs.push(CkLayout::new(&dist, &rows, k).assemble(&segs));
     }
     let c_full = assemble_c(n1, &rows, &outputs);
     SyrkRunResult {

@@ -8,7 +8,10 @@
 //! its diagonal block (if assigned) with a local SYRK. No contribution to
 //! `C` is ever communicated — only parts of `A`.
 
-use syrk_dense::{gemm_flops, mul_nt, syrk_flops, syrk_packed_new, Diag, Matrix};
+use syrk_dense::{
+    available_threads, balanced_chunks_by_cost, gemm_flops, limit_threads, machine_thread_budget,
+    mul_nt, par_for_each_task, syrk_flops, syrk_packed_new, Diag, Matrix,
+};
 use syrk_machine::{Comm, CostModel, Machine};
 
 use super::common::{assemble_c, DiagBlock, LocalOutput, OffDiagBlock, SyrkRunResult};
@@ -108,17 +111,44 @@ pub(crate) fn twod_body_impl(
             .1
     };
 
-    // Lines 15–17: off-diagonal blocks C_ij = A_i · A_jᵀ.
+    // Lines 15–17: off-diagonal blocks C_ij = A_i · A_jᵀ, computed in
+    // flop-balanced chunks over the rank's thread budget. Results land in
+    // per-block slots so `out.offdiag` keeps `blocks_of(k)` order — the 3D
+    // algorithm's C_k layout depends on it. Flops are charged up front,
+    // outside the worker closure, to keep the cost report deterministic.
     let mut out = LocalOutput::default();
-    for (i, j) in dist.blocks_of(k) {
-        let (ai, aj) = (block_for(i), block_for(j));
-        out.offdiag.push(OffDiagBlock {
-            i,
-            j,
-            data: mul_nt(ai, aj),
-        });
-        comm.add_flops(gemm_flops(ai.rows(), aj.rows(), n2l));
+    let blocks = dist.blocks_of(k);
+    let costs: Vec<u64> = blocks
+        .iter()
+        .map(|&(i, j)| gemm_flops(block_for(i).rows(), block_for(j).rows(), n2l))
+        .collect();
+    for &f in &costs {
+        comm.add_flops(f);
     }
+    let mut results: Vec<Option<OffDiagBlock>> = (0..blocks.len()).map(|_| None).collect();
+    let chunks = balanced_chunks_by_cost(&costs, available_threads(), 1);
+    let mut tasks: Vec<(std::ops::Range<usize>, &mut [Option<OffDiagBlock>])> = Vec::new();
+    let mut rest = results.as_mut_slice();
+    for r in &chunks {
+        let (head, tail) = rest.split_at_mut(r.len());
+        tasks.push((r.clone(), head));
+        rest = tail;
+    }
+    par_for_each_task(tasks, |_, (range, slots)| {
+        for (slot, bi) in slots.iter_mut().zip(range) {
+            let (i, j) = blocks[bi];
+            *slot = Some(OffDiagBlock {
+                i,
+                j,
+                data: mul_nt(block_for(i), block_for(j)),
+            });
+        }
+    });
+    out.offdiag.extend(
+        results
+            .into_iter()
+            .map(|r| r.expect("every block computed")),
+    );
 
     // Lines 18–20: the diagonal block, if assigned.
     if let Some(i) = dist.d_block(k) {
@@ -178,6 +208,9 @@ fn syrk_2d_traced_impl(
     if tracing {
         machine = machine.with_tracing();
     }
+    // Split the hardware threads evenly across the simulated ranks so the
+    // per-rank kernels don't oversubscribe the host.
+    let _threads = limit_threads(machine_thread_budget(dist.p()));
     let out = machine.run(|comm| twod_body_impl(&comm, &dist, &ad, a, padded));
     let c_full = assemble_c(n1, &ad.rows, &out.results);
     (

@@ -6,7 +6,11 @@
 //! distributed SYRK produces the Gram matrix, these consume it.
 
 use crate::matrix::Matrix;
+use crate::microkernel::{microkernel, MR, NR};
+use crate::pack::{pack_rows, panel_offset};
+use crate::parallel::{available_threads, par_for_each_task};
 use crate::scalar::Scalar;
+use crate::schedule::balanced_triangle_chunks;
 
 /// Errors from the Cholesky factorization.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +51,22 @@ impl std::error::Error for CholeskyError {}
 pub fn cholesky<T: Scalar>(g: &Matrix<T>) -> Result<Matrix<T>, CholeskyError> {
     let n = g.rows();
     assert_eq!(g.cols(), n, "cholesky needs a square matrix");
+    if n <= CHOLESKY_BLOCK {
+        cholesky_unblocked(g)
+    } else {
+        cholesky_blocked(g)
+    }
+}
+
+/// Panel width of the blocked factorization; also the dispatch threshold
+/// below which the unblocked kernel runs directly (the trailing-update
+/// microkernel only pays off once the trailing matrix dwarfs the panel).
+const CHOLESKY_BLOCK: usize = 64;
+
+/// Textbook scalar factorization, used for small matrices and for the
+/// diagonal blocks of the blocked path.
+fn cholesky_unblocked<T: Scalar>(g: &Matrix<T>) -> Result<Matrix<T>, CholeskyError> {
+    let n = g.rows();
     let mut l = Matrix::<T>::zeros(n, n);
     for i in 0..n {
         for j in 0..=i {
@@ -66,6 +86,98 @@ pub fn cholesky<T: Scalar>(g: &Matrix<T>) -> Result<Matrix<T>, CholeskyError> {
                 l[(i, j)] = s / l[(j, j)];
             }
         }
+    }
+    Ok(l)
+}
+
+/// Right-looking blocked factorization: factor a diagonal block, solve
+/// the panel below it, then subtract the panel's rank-`nb` outer product
+/// from the trailing lower triangle through the register-blocked
+/// microkernel (the SYRK shape is where the cubic work lives).
+fn cholesky_blocked<T: Scalar>(g: &Matrix<T>) -> Result<Matrix<T>, CholeskyError> {
+    let n = g.rows();
+    // Work in place on the lower triangle; the strict upper stays zero.
+    let mut l = Matrix::from_fn(n, n, |i, j| if j <= i { g[(i, j)] } else { T::zero() });
+    let mut panel = Vec::new();
+    for k0 in (0..n).step_by(CHOLESKY_BLOCK) {
+        let nb = CHOLESKY_BLOCK.min(n - k0);
+        let k1 = k0 + nb;
+        // Factor the diagonal block in place (prior panels are already
+        // subtracted, so only intra-block updates remain).
+        for i in k0..k1 {
+            for j in k0..=i {
+                let mut s = l[(i, j)];
+                for t in k0..j {
+                    s -= l[(i, t)] * l[(j, t)];
+                }
+                if i == j {
+                    if s.to_f64() <= 0.0 {
+                        return Err(CholeskyError::NotPositiveDefinite {
+                            pivot: i,
+                            value: s.to_f64(),
+                        });
+                    }
+                    l[(i, j)] = T::from_f64(s.to_f64().sqrt());
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        if k1 == n {
+            break;
+        }
+        // Panel solve: L21 · L11ᵀ = A21, row-forward substitution.
+        for i in k1..n {
+            for j in k0..k1 {
+                let mut s = l[(i, j)];
+                for t in k0..j {
+                    s -= l[(i, t)] * l[(j, t)];
+                }
+                l[(i, j)] = s / l[(j, j)];
+            }
+        }
+        // Trailing update: lower(A22) −= L21·L21ᵀ. The panel is packed
+        // once (resolving the read-while-writing aliasing), then
+        // flop-balanced row chunks of the trailing triangle run in
+        // parallel — chunk rows are contiguous slices of the matrix.
+        let trailing = n - k1;
+        pack_rows(&mut panel, &l, k1..n, k0..k1, MR);
+        let chunks = balanced_triangle_chunks(
+            trailing,
+            crate::packed::Diag::Inclusive,
+            available_threads(),
+            MR,
+        );
+        let mut rest = &mut l.as_mut_slice()[k1 * n..];
+        let mut tasks = Vec::with_capacity(chunks.len());
+        for r in &chunks {
+            let (head, tail) = rest.split_at_mut(r.len() * n);
+            tasks.push((r.clone(), head));
+            rest = tail;
+        }
+        let panel = &panel;
+        par_for_each_task(tasks, |_, (rows, lbuf)| {
+            for it in (rows.start..rows.end).step_by(MR) {
+                let rr = MR.min(rows.end - it);
+                let ap = &panel[panel_offset(it, nb, MR)..];
+                for j0 in (0..it + rr).step_by(NR) {
+                    let bp = &panel[panel_offset(j0, nb, NR)..];
+                    let acc = microkernel(nb, ap, bp);
+                    for (u, arow) in acc.iter().enumerate().take(rr) {
+                        let i = it + u;
+                        let jend = (j0 + NR).min(i + 1);
+                        if jend <= j0 {
+                            continue;
+                        }
+                        let off = (i - rows.start) * n + k1 + j0;
+                        let dst = &mut lbuf[off..off + jend - j0];
+                        for (d, &v) in dst.iter_mut().zip(arow.iter()) {
+                            *d -= v;
+                        }
+                    }
+                }
+            }
+        });
     }
     Ok(l)
 }
@@ -158,6 +270,39 @@ mod tests {
                     assert_eq!(l[(i, j)], 0.0);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn blocked_path_matches_unblocked() {
+        // n > CHOLESKY_BLOCK exercises the microkernel trailing update,
+        // including a ragged final block (150 = 2·64 + 22).
+        for n in [100usize, 150] {
+            let g = spd(n, n as u64);
+            let blocked = cholesky(&g).expect("SPD must factor");
+            let unblocked = cholesky_unblocked(&g).expect("SPD must factor");
+            assert!(
+                max_abs_diff(&blocked, &unblocked) < 1e-8,
+                "n={n}: blocked and unblocked factors disagree"
+            );
+            let llt = mul_nt(&blocked, &blocked);
+            assert!(max_abs_diff(&llt, &g) < 1e-8 * n as f64, "n={n}");
+            for i in 0..n {
+                for j in i + 1..n {
+                    assert_eq!(blocked[(i, j)], 0.0, "upper triangle must stay zero");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_indefinite_reports_global_pivot() {
+        // SPD leading part, a negative pivot deep in the trailing part.
+        let mut g = spd(100, 9);
+        g[(90, 90)] = -1e6;
+        match cholesky(&g) {
+            Err(CholeskyError::NotPositiveDefinite { pivot, .. }) => assert_eq!(pivot, 90),
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
         }
     }
 

@@ -7,13 +7,21 @@
 //!
 //! `gemm_nt` is the shape the SYRK algorithms use for off-diagonal blocks
 //! (`C_ij = A_i · A_jᵀ`, Alg. 2 line 16). Each kernel exists as a simple
-//! reference implementation and a cache-blocked, rayon-parallel variant;
-//! the blocked variants are bit-for-bit order-compatible per row so results
-//! are deterministic.
+//! reference implementation and a packed, register-blocked variant built
+//! on [`crate::microkernel`]: the operands are packed into k-major
+//! micro-panels per `KC`-wide panel of the inner dimension, and an
+//! `MR × NR` register tile is accumulated per inner call. Parallelism is
+//! over disjoint row chunks of `C` (see [`crate::parallel`]); every `C`
+//! element is accumulated in ascending-k order regardless of blocking or
+//! thread count, so results are deterministic.
 
 use crate::matrix::Matrix;
+use crate::microkernel::{microkernel, store_add, MR, NR};
+use crate::pack::{pack_cols, pack_rows, panel_offset};
+use crate::parallel::par_for_each_task;
 use crate::scalar::Scalar;
-use rayon::prelude::*;
+use crate::schedule::balanced_chunks_by_cost;
+use std::ops::Range;
 
 /// Flops performed by `C += A·B` with `A: m×k`, `B: k×n`
 /// (a multiply and an add per inner iteration).
@@ -58,15 +66,79 @@ pub fn gemm_nt_ref<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
     }
 }
 
-/// Tile edge used by the blocked kernels. Chosen so three f64 tiles fit
-/// comfortably in L1 (3·64²·8 B ≈ 96 KiB is too big for L1 but fine for
-/// L2; 64 empirically balances loop overhead against reuse here).
-const TILE: usize = 64;
+/// Inner-dimension panel width: one `KC`-deep strip of packed A and B is
+/// live at a time (`KC·(MC + NC)` scalars ≈ L2-resident for f64).
+pub(crate) const KC: usize = 256;
+/// Row-block height packed per task iteration (A block: `MC × KC`).
+pub(crate) const MC: usize = 64;
+/// Column-block width swept per A block (B panel window: `NC × KC`).
+pub(crate) const NC: usize = 256;
 
-/// Blocked, rayon-parallel `C += A·Bᵀ`.
-///
-/// Parallelism is over disjoint row tiles of `C`, so the accumulation
-/// order within each row is identical to [`gemm_nt_ref`]'s per-tile order.
+/// Evenly sized `MR`-aligned row chunks of `m` rows, at most one per
+/// available worker.
+fn row_chunks(m: usize, workers: usize) -> Vec<Range<usize>> {
+    balanced_chunks_by_cost(&vec![1u64; m], workers, MR)
+}
+
+/// Split `c`'s backing slice at chunk row boundaries (rows are contiguous
+/// in a row-major matrix, so each chunk is one disjoint sub-slice).
+fn split_rows<'c, T: Scalar>(
+    c: &'c mut Matrix<T>,
+    chunks: &[Range<usize>],
+) -> Vec<(Range<usize>, &'c mut [T])> {
+    let cols = c.cols();
+    let mut rest = c.as_mut_slice();
+    let mut out = Vec::with_capacity(chunks.len());
+    for r in chunks {
+        let (head, tail) = rest.split_at_mut(r.len() * cols);
+        out.push((r.clone(), head));
+        rest = tail;
+    }
+    out
+}
+
+/// The packed-kernel GEMM driver. `bpack` holds the full `NR`-panel pack
+/// of the current inner panel of B (or Bᵀ); each task packs its own A row
+/// blocks and sweeps register tiles.
+fn gemm_driver<T: Scalar>(
+    c: &mut Matrix<T>,
+    a: &Matrix<T>,
+    pack_b: impl Fn(&mut Vec<T>, Range<usize>),
+    workers: usize,
+) {
+    let (m, k) = a.shape();
+    let n = c.cols();
+    let chunks = row_chunks(m, workers);
+    let mut bpack = Vec::new();
+    for p0 in (0..k).step_by(KC) {
+        let pb = KC.min(k - p0);
+        pack_b(&mut bpack, p0..p0 + pb);
+        let tasks = split_rows(c, &chunks);
+        par_for_each_task(tasks, |_, (rows, cbuf)| {
+            let mut apack = Vec::new();
+            for i0 in (rows.start..rows.end).step_by(MC) {
+                let ib = MC.min(rows.end - i0);
+                pack_rows(&mut apack, a, i0..i0 + ib, p0..p0 + pb, MR);
+                for jc in (0..n).step_by(NC) {
+                    let jc_end = (jc + NC).min(n);
+                    for it in (0..ib).step_by(MR) {
+                        let rr = MR.min(ib - it);
+                        let ap = &apack[panel_offset(it, pb, MR)..];
+                        for j0 in (jc..jc_end).step_by(NR) {
+                            let cc = NR.min(jc_end - j0);
+                            let bp = &bpack[panel_offset(j0, pb, NR)..];
+                            let acc = microkernel(pb, ap, bp);
+                            let off = (i0 - rows.start + it) * n + j0;
+                            store_add(&mut cbuf[off..], n, rr, cc, &acc);
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Packed, register-blocked, multi-threaded `C += A·Bᵀ`.
 pub fn gemm_nt<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
     let (m, k) = a.shape();
     let (n, k2) = b.shape();
@@ -75,35 +147,12 @@ pub fn gemm_nt<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let cols = c.cols();
-    c.as_mut_slice()
-        .par_chunks_mut(TILE * cols)
-        .enumerate()
-        .for_each(|(ti, ctile)| {
-            let i0 = ti * TILE;
-            let rows = TILE.min(m - i0);
-            for j0 in (0..n).step_by(TILE) {
-                let jb = TILE.min(n - j0);
-                for p0 in (0..k).step_by(TILE) {
-                    let pb = TILE.min(k - p0);
-                    for i in 0..rows {
-                        let arow = &a.row(i0 + i)[p0..p0 + pb];
-                        let crow = &mut ctile[i * cols + j0..i * cols + j0 + jb];
-                        for (j, cj) in crow.iter_mut().enumerate() {
-                            let brow = &b.row(j0 + j)[p0..p0 + pb];
-                            let mut acc = T::zero();
-                            for (&x, &y) in arow.iter().zip(brow) {
-                                acc = x.mul_add(y, acc);
-                            }
-                            *cj += acc;
-                        }
-                    }
-                }
-            }
-        });
+    let workers = crate::parallel::available_threads();
+    // Bᵀ's columns are B's rows, so the B-side pack is a row pack.
+    gemm_driver(c, a, |buf, ks| pack_rows(buf, b, 0..n, ks, NR), workers);
 }
 
-/// Blocked, rayon-parallel `C += A·B`.
+/// Packed, register-blocked, multi-threaded `C += A·B`.
 pub fn gemm_nn<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
     let (m, k) = a.shape();
     let (k2, n) = b.shape();
@@ -112,27 +161,8 @@ pub fn gemm_nn<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let cols = c.cols();
-    c.as_mut_slice()
-        .par_chunks_mut(TILE * cols)
-        .enumerate()
-        .for_each(|(ti, ctile)| {
-            let i0 = ti * TILE;
-            let rows = TILE.min(m - i0);
-            for p0 in (0..k).step_by(TILE) {
-                let pb = TILE.min(k - p0);
-                for i in 0..rows {
-                    for p in 0..pb {
-                        let aip = a[(i0 + i, p0 + p)];
-                        let brow = b.row(p0 + p);
-                        let crow = &mut ctile[i * cols..i * cols + n];
-                        for (cj, &bj) in crow.iter_mut().zip(brow) {
-                            *cj = aip.mul_add(bj, *cj);
-                        }
-                    }
-                }
-            }
-        });
+    let workers = crate::parallel::available_threads();
+    gemm_driver(c, a, |buf, ks| pack_cols(buf, b, ks, 0..n, NR), workers);
 }
 
 /// Convenience: `A·Bᵀ` into a fresh matrix.
@@ -193,6 +223,7 @@ mod tests {
             (64, 64, 64),
             (65, 130, 33),
             (100, 1, 200),
+            (33, 70, 300), // spans a KC panel boundary
         ] {
             let a = seeded_matrix(m, k, 10 + m as u64);
             let b = seeded_matrix(n, k, 20 + n as u64);
@@ -248,5 +279,22 @@ mod tests {
         let b = Matrix::<f64>::zeros(2, 4);
         let mut c = Matrix::<f64>::zeros(2, 2);
         gemm_nt(&mut c, &a, &b);
+    }
+
+    #[test]
+    fn result_independent_of_thread_count() {
+        let a = seeded_matrix::<f64>(70, 90, 31);
+        let b = seeded_matrix::<f64>(50, 90, 32);
+        let one = {
+            let _g = crate::parallel::limit_threads(1);
+            mul_nt(&a, &b)
+        };
+        let four = {
+            let _g = crate::parallel::limit_threads(4);
+            mul_nt(&a, &b)
+        };
+        // Bit-identical: per-element accumulation order is k-order in
+        // both cases.
+        assert_eq!(one, four);
     }
 }

@@ -2,9 +2,12 @@
 //!
 //! Matrices, packed symmetric storage, and the local GEMM/SYRK kernels the
 //! distributed SYRK algorithms of the SPAA '23 paper run on each rank.
-//! Everything is written from scratch (no BLAS dependency): correctness is
-//! what matters for the reproduction; kernels are cache-blocked and
-//! rayon-parallel so the experiment sweeps stay fast.
+//! Everything is written from scratch (no BLAS — or any other —
+//! dependency): operands are packed into k-major micro-panels
+//! ([`mod@pack`]) and consumed by a register-blocked `MR × NR`
+//! microkernel ([`mod@microkernel`]); triangular outputs are partitioned
+//! into flop-balanced row chunks ([`mod@schedule`]) executed on a scoped
+//! worker pool ([`mod@parallel`]).
 //!
 //! ```
 //! use syrk_dense::{seeded_matrix, syrk_full_reference, mul_nt, max_abs_diff};
@@ -21,10 +24,14 @@ mod blocking;
 mod cholesky;
 mod gemm;
 mod matrix;
+pub mod microkernel;
 mod norms;
+pub mod pack;
 mod packed;
+pub mod parallel;
 mod rng;
 mod scalar;
+pub mod schedule;
 mod syr2k;
 mod syrk;
 mod view;
@@ -37,8 +44,10 @@ pub use gemm::{gemm_flops, gemm_nn, gemm_nn_ref, gemm_nt, gemm_nt_ref, mul_nn, m
 pub use matrix::Matrix;
 pub use norms::{frobenius, max_abs_diff, max_abs_diff_lower, syrk_tolerance};
 pub use packed::{Diag, PackedLower};
-pub use rng::{seeded_int_matrix, seeded_matrix};
+pub use parallel::{available_threads, limit_threads, machine_thread_budget, par_for_each_task};
+pub use rng::{seeded_int_matrix, seeded_matrix, DetRng};
 pub use scalar::Scalar;
+pub use schedule::{balanced_chunks_by_cost, balanced_triangle_chunks};
 pub use syr2k::{
     syr2k_flops, syr2k_full_reference, syr2k_lower_ref, syr2k_packed, syr2k_packed_new,
 };

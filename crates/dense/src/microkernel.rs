@@ -1,0 +1,160 @@
+//! The register-blocked inner kernel.
+//!
+//! One call computes a full `MR × NR` tile of the product of two packed
+//! panels (see [`crate::pack`]): the accumulator lives in a fixed-size
+//! 2-D array that LLVM keeps in vector registers, the k-loop is unrolled
+//! by four, and the multiply-add is written as separate `*` and `+` so
+//! the autovectorizer can use packed mul/add instructions on every
+//! target (a call into a fused `mul_add` libm routine would serialize
+//! the loop on targets without a hardware FMA mapping).
+//!
+//! `MR == NR` is deliberate: SYRK-shaped drivers then feed *one* packed
+//! copy of `A` to both sides of the kernel, halving pack traffic.
+
+use crate::scalar::Scalar;
+
+/// Register-tile rows per microkernel call.
+pub const MR: usize = 4;
+/// Register-tile columns per microkernel call.
+pub const NR: usize = 4;
+
+/// One fully-accumulated register tile.
+pub type Acc<T> = [[T; NR]; MR];
+
+/// Rank-1 update of the accumulator from one k-step of each panel.
+#[inline(always)]
+fn step<T: Scalar>(acc: &mut Acc<T>, a: &[T], b: &[T]) {
+    let a: &[T; MR] = a.try_into().unwrap();
+    let b: &[T; NR] = b.try_into().unwrap();
+    for i in 0..MR {
+        for j in 0..NR {
+            acc[i][j] += a[i] * b[j];
+        }
+    }
+}
+
+/// `MR × NR` tile of `Ap · Bpᵀ` over `kc` inner iterations, where `ap`
+/// is one k-major micro-panel of MR rows and `bp` one of NR rows.
+/// Accumulation is in ascending k order, so results are deterministic
+/// and independent of how callers block the surrounding loops.
+#[inline]
+pub fn microkernel<T: Scalar>(kc: usize, ap: &[T], bp: &[T]) -> Acc<T> {
+    let mut acc = [[T::zero(); NR]; MR];
+    let ap = &ap[..kc * MR];
+    let bp = &bp[..kc * NR];
+    let mut a4 = ap.chunks_exact(4 * MR);
+    let mut b4 = bp.chunks_exact(4 * NR);
+    for (a, b) in a4.by_ref().zip(b4.by_ref()) {
+        step(&mut acc, &a[..MR], &b[..NR]);
+        step(&mut acc, &a[MR..2 * MR], &b[NR..2 * NR]);
+        step(&mut acc, &a[2 * MR..3 * MR], &b[2 * NR..3 * NR]);
+        step(&mut acc, &a[3 * MR..], &b[3 * NR..]);
+    }
+    for (a, b) in a4
+        .remainder()
+        .chunks_exact(MR)
+        .zip(b4.remainder().chunks_exact(NR))
+    {
+        step(&mut acc, a, b);
+    }
+    acc
+}
+
+/// `acc[i1] + acc[i2]` lane-wise — used by SYR2K to fuse its two products
+/// before a single store.
+#[inline]
+pub fn acc_add<T: Scalar>(x: &Acc<T>, y: &Acc<T>) -> Acc<T> {
+    let mut out = [[T::zero(); NR]; MR];
+    for i in 0..MR {
+        for j in 0..NR {
+            out[i][j] = x[i][j] + y[i][j];
+        }
+    }
+    out
+}
+
+/// Add the leading `rows × cols` corner of `acc` into a row-major
+/// destination `dst` with row stride `stride`, starting at `dst[0]`.
+#[inline]
+pub fn store_add<T: Scalar>(dst: &mut [T], stride: usize, rows: usize, cols: usize, acc: &Acc<T>) {
+    for (i, arow) in acc.iter().enumerate().take(rows) {
+        let drow = &mut dst[i * stride..i * stride + cols];
+        for (d, &v) in drow.iter_mut().zip(arow.iter()) {
+            *d += v;
+        }
+    }
+}
+
+/// Subtract variant of [`store_add`] — the Cholesky trailing update is
+/// `C −= L·Lᵀ`.
+#[inline]
+pub fn store_sub<T: Scalar>(dst: &mut [T], stride: usize, rows: usize, cols: usize, acc: &Acc<T>) {
+    for (i, arow) in acc.iter().enumerate().take(rows) {
+        let drow = &mut dst[i * stride..i * stride + cols];
+        for (d, &v) in drow.iter_mut().zip(arow.iter()) {
+            *d -= v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::pack::pack_rows;
+    use crate::rng::seeded_matrix;
+
+    #[test]
+    fn kernel_matches_scalar_dot_products() {
+        for kc in [0usize, 1, 3, 4, 5, 8, 17, 64] {
+            let a = seeded_matrix::<f64>(MR, kc, 100 + kc as u64);
+            let b = seeded_matrix::<f64>(NR, kc, 200 + kc as u64);
+            let (mut ap, mut bp) = (Vec::new(), Vec::new());
+            pack_rows(&mut ap, &a, 0..MR, 0..kc, MR);
+            pack_rows(&mut bp, &b, 0..NR, 0..kc, NR);
+            let acc = microkernel(kc, &ap, &bp);
+            for i in 0..MR {
+                for j in 0..NR {
+                    let want: f64 = (0..kc).map(|p| a[(i, p)] * b[(j, p)]).sum();
+                    assert!(
+                        (acc[i][j] - want).abs() < 1e-12,
+                        "kc={kc} ({i},{j}): {} vs {want}",
+                        acc[i][j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padded_lanes_do_not_leak() {
+        // Pack only 2 live rows on each side; lanes 2..4 are zeros and
+        // the corresponding accumulator entries must be exactly zero.
+        let a = seeded_matrix::<f64>(2, 9, 5);
+        let (mut ap, mut bp) = (Vec::new(), Vec::new());
+        pack_rows(&mut ap, &a, 0..2, 0..9, MR);
+        pack_rows(&mut bp, &a, 0..2, 0..9, NR);
+        let acc = microkernel(9, &ap, &bp);
+        for (i, row) in acc.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if i >= 2 || j >= 2 {
+                    assert_eq!(v, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stores_clamp_and_accumulate() {
+        let acc: Acc<f64> = std::array::from_fn(|i| std::array::from_fn(|j| (i * NR + j) as f64));
+        let mut m = Matrix::from_fn(3, 5, |_, _| 1.0);
+        let stride = m.cols();
+        store_add(&mut m.as_mut_slice()[stride..], stride, 2, 3, &acc);
+        assert_eq!(m[(0, 0)], 1.0, "rows above the store untouched");
+        assert_eq!(m[(1, 0)], 1.0 + acc[0][0]);
+        assert_eq!(m[(2, 2)], 1.0 + acc[1][2]);
+        assert_eq!(m[(1, 3)], 1.0, "clamped columns untouched");
+        store_sub(&mut m.as_mut_slice()[stride..], stride, 2, 3, &acc);
+        assert!(m.as_slice().iter().all(|&x| x == 1.0));
+    }
+}

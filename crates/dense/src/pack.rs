@@ -1,0 +1,135 @@
+//! Panel packing for the register-blocked kernels.
+//!
+//! The microkernel streams its operands from *packed* panels: `R`
+//! rows (or columns) interleaved k-major, so each step of the k-loop
+//! reads one contiguous group of `R` values per operand. Packing costs
+//! `O(m·k)` copies but turns the inner loop into unit-stride loads, which
+//! is what lets LLVM vectorize it.
+//!
+//! Layout of a packed buffer for rows `r0..r1` over columns `c0..c1`
+//! with register width `R` and `kc = c1 − c0`:
+//!
+//! ```text
+//! panel 0: [a(r0,c0) a(r0+1,c0) … a(r0+R−1,c0)] [a(r0,c0+1) … ] … kc groups
+//! panel 1: rows r0+R … r0+2R−1, same k-major layout
+//! …
+//! ```
+//!
+//! Tail panels with fewer than `R` live rows are zero-padded, so the
+//! microkernel never needs a fringe case: padded lanes multiply into
+//! zeros that are simply not stored back.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use std::ops::Range;
+
+/// Number of scalars in a packed panel buffer for `rows` rows (or
+/// columns), `kc` inner iterations, and register width `r`.
+pub fn packed_panel_len(rows: usize, kc: usize, r: usize) -> usize {
+    rows.div_ceil(r) * r * kc
+}
+
+/// Offset of the micro-panel that starts at local row `row` (a multiple
+/// of `r`) inside a packed buffer with inner length `kc`.
+#[inline]
+pub fn panel_offset(row: usize, kc: usize, r: usize) -> usize {
+    debug_assert_eq!(row % r, 0, "micro-panels start at multiples of R");
+    row * kc
+}
+
+/// Pack rows `rows` of `a`, restricted to columns `cols`, into `buf` as
+/// zero-padded `r`-row k-major micro-panels. `buf` is cleared and
+/// resized; reuse one buffer across panels to amortize the allocation.
+pub fn pack_rows<T: Scalar>(
+    buf: &mut Vec<T>,
+    a: &Matrix<T>,
+    rows: Range<usize>,
+    cols: Range<usize>,
+    r: usize,
+) {
+    let m = rows.len();
+    let kc = cols.len();
+    buf.clear();
+    buf.resize(packed_panel_len(m, kc, r), T::zero());
+    for q in 0..m.div_ceil(r) {
+        let i0 = rows.start + q * r;
+        let live = r.min(rows.end - i0);
+        let dst = &mut buf[q * r * kc..(q + 1) * r * kc];
+        for u in 0..live {
+            let src = &a.row(i0 + u)[cols.clone()];
+            for (p, &v) in src.iter().enumerate() {
+                dst[p * r + u] = v;
+            }
+        }
+    }
+}
+
+/// Pack columns `cols` of `b`, restricted to rows `rows` (the inner
+/// dimension), into `r`-column k-major micro-panels — the B-side pack for
+/// `C += A·B` where B is stored `k × n`. Same layout contract as
+/// [`pack_rows`]; copies are contiguous because columns of a row-major
+/// matrix are walked row by row.
+pub fn pack_cols<T: Scalar>(
+    buf: &mut Vec<T>,
+    b: &Matrix<T>,
+    rows: Range<usize>,
+    cols: Range<usize>,
+    r: usize,
+) {
+    let kc = rows.len();
+    let n = cols.len();
+    buf.clear();
+    buf.resize(packed_panel_len(n, kc, r), T::zero());
+    for q in 0..n.div_ceil(r) {
+        let j0 = cols.start + q * r;
+        let live = r.min(cols.end - j0);
+        let dst = &mut buf[q * r * kc..(q + 1) * r * kc];
+        for p in 0..kc {
+            let src = &b.row(rows.start + p)[j0..j0 + live];
+            dst[p * r..p * r + live].copy_from_slice(src);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_rows_layout_and_padding() {
+        // 5 rows packed with R = 4 → two panels, second padded with 3
+        // zero lanes.
+        let a = Matrix::from_fn(6, 3, |i, j| (10 * i + j) as f64);
+        let mut buf = Vec::new();
+        pack_rows(&mut buf, &a, 1..6, 0..3, 4);
+        assert_eq!(buf.len(), packed_panel_len(5, 3, 4));
+        // Panel 0, k = 0 holds column 0 of rows 1..5.
+        assert_eq!(&buf[0..4], &[10.0, 20.0, 30.0, 40.0]);
+        // Panel 0, k = 2 holds column 2 of rows 1..5.
+        assert_eq!(&buf[8..12], &[12.0, 22.0, 32.0, 42.0]);
+        // Panel 1 holds row 5 in lane 0, zeros elsewhere.
+        let p1 = &buf[panel_offset(4, 3, 4)..];
+        assert_eq!(&p1[0..4], &[50.0, 0.0, 0.0, 0.0]);
+        assert_eq!(&p1[4..8], &[51.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_cols_matches_pack_rows_of_transpose() {
+        let b = Matrix::from_fn(5, 7, |i, j| (i * 7 + j) as f64);
+        let bt = b.transpose();
+        let (mut by_cols, mut by_rows) = (Vec::new(), Vec::new());
+        pack_cols(&mut by_cols, &b, 1..4, 2..7, 4);
+        pack_rows(&mut by_rows, &bt, 2..7, 1..4, 4);
+        assert_eq!(by_cols, by_rows);
+    }
+
+    #[test]
+    fn empty_ranges_pack_to_empty() {
+        let a = Matrix::<f64>::zeros(4, 4);
+        let mut buf = vec![1.0];
+        pack_rows(&mut buf, &a, 2..2, 0..4, 4);
+        assert!(buf.is_empty());
+        pack_cols(&mut buf, &a, 0..4, 3..3, 4);
+        assert!(buf.is_empty());
+    }
+}

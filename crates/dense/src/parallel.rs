@@ -1,0 +1,175 @@
+//! Scoped worker-pool parallelism for the dense kernels.
+//!
+//! The workspace builds without external crates, so the rayon layer the
+//! kernels used to sit on is replaced by a small scoped pool: tasks are
+//! drained from a shared queue by `std::thread::scope` workers. Two knobs
+//! control the thread count:
+//!
+//! * the `SYRK_NUM_THREADS` environment variable, and
+//! * a process-wide budget set by [`limit_threads`], which the simulated
+//!   machine uses to split hardware threads fairly across its ranks
+//!   (each of `P` rank threads runs kernels with `available/P` workers
+//!   instead of oversubscribing `P × available`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide thread budget; 0 means "unset, use the hardware count".
+static THREAD_BUDGET: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads a kernel may use right now: the active
+/// [`limit_threads`] budget if one is set, else `SYRK_NUM_THREADS`, else
+/// the hardware parallelism.
+pub fn available_threads() -> usize {
+    let budget = THREAD_BUDGET.load(Ordering::Relaxed);
+    if budget != 0 {
+        return budget;
+    }
+    if let Some(n) = std::env::var("SYRK_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// RAII guard restoring the previous thread budget on drop.
+#[must_use = "the budget is restored when the guard drops"]
+#[derive(Debug)]
+pub struct ThreadBudgetGuard {
+    prev: usize,
+}
+
+impl Drop for ThreadBudgetGuard {
+    fn drop(&mut self) {
+        THREAD_BUDGET.store(self.prev, Ordering::Relaxed);
+    }
+}
+
+/// Cap kernel parallelism at `n` threads until the returned guard drops.
+/// The budget is process-wide (it must reach the machine's rank threads,
+/// which a thread-local could not), so nesting different budgets from
+/// concurrent callers is last-writer-wins — acceptable because the budget
+/// only affects performance, never results.
+pub fn limit_threads(n: usize) -> ThreadBudgetGuard {
+    let prev = THREAD_BUDGET.swap(n.max(1), Ordering::Relaxed);
+    ThreadBudgetGuard { prev }
+}
+
+/// The per-rank kernel thread budget for a machine run with `p` ranks:
+/// hardware threads split evenly, at least one each.
+pub fn machine_thread_budget(p: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (hw / p.max(1)).max(1)
+}
+
+/// Run `f(index, task)` for every task, on up to [`available_threads`]
+/// scoped workers. Tasks are handed out in order from a shared queue, so
+/// early (typically larger) tasks start first; with one worker or one
+/// task everything runs inline on the caller's thread. Panics in workers
+/// propagate to the caller.
+pub fn par_for_each_task<T, F>(tasks: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    let workers = available_threads().min(tasks.len());
+    if workers <= 1 {
+        for (i, t) in tasks.into_iter().enumerate() {
+            f(i, t);
+        }
+        return;
+    }
+    let queue = Mutex::new(tasks.into_iter().enumerate());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
+                    match next {
+                        Some((i, t)) => f(i, t),
+                        None => break,
+                    }
+                })
+            })
+            .collect();
+        // Join explicitly so a worker's panic payload reaches the caller
+        // (scope's implicit join replaces it with a generic message).
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(e) = h.join() {
+                first_panic.get_or_insert(e);
+            }
+        }
+        if let Some(e) = first_panic {
+            std::panic::resume_unwind(e);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn budget_guard_restores() {
+        let before = available_threads();
+        {
+            let _g = limit_threads(1);
+            assert_eq!(available_threads(), 1);
+            {
+                let _g2 = limit_threads(3);
+                assert_eq!(available_threads(), 3);
+            }
+            assert_eq!(available_threads(), 1);
+        }
+        assert_eq!(available_threads(), before);
+    }
+
+    #[test]
+    fn machine_budget_never_zero() {
+        assert!(machine_thread_budget(1) >= 1);
+        assert!(machine_thread_budget(1000) >= 1);
+    }
+
+    #[test]
+    fn par_for_each_runs_every_task_once() {
+        let sum = AtomicU64::new(0);
+        let tasks: Vec<u64> = (1..=100).collect();
+        par_for_each_task(tasks, |i, t| {
+            assert_eq!(i as u64 + 1, t);
+            sum.fetch_add(t, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn par_for_each_disjoint_mutation() {
+        let mut data = vec![0u64; 64];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(8).collect();
+        par_for_each_task(chunks, |i, chunk| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = (i * 8 + j) as u64;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "task boom")]
+    fn worker_panic_propagates() {
+        let _g = limit_threads(2);
+        par_for_each_task(vec![0usize; 8], |i, _| {
+            if i == 5 {
+                panic!("task boom");
+            }
+        });
+    }
+}

@@ -39,32 +39,11 @@ pub fn syr2k_lower_ref<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T
 }
 
 /// Packed SYR2K: accumulate the lower triangle of `A·Bᵀ + B·Aᵀ` into
-/// packed storage.
+/// packed storage, via the register-blocked driver shared with
+/// [`crate::syrk_packed`] (two microkernel calls per register tile, fused
+/// before the store).
 pub fn syr2k_packed<T: Scalar>(c: &mut PackedLower<T>, a: &Matrix<T>, b: &Matrix<T>) {
-    let (n, k) = a.shape();
-    assert_eq!(
-        b.shape(),
-        (n, k),
-        "syr2k: A and B must have identical shapes"
-    );
-    assert_eq!(c.n(), n, "syr2k_packed: dimension mismatch");
-    let diag = c.diag();
-    let jmax = move |i: usize| match diag {
-        Diag::Inclusive => i + 1,
-        Diag::Strict => i,
-    };
-    for i in 0..n {
-        let (ai, bi) = (a.row(i), b.row(i));
-        for j in 0..jmax(i) {
-            let (aj, bj) = (a.row(j), b.row(j));
-            let mut acc = T::zero();
-            for t in 0..k {
-                acc = ai[t].mul_add(bj[t], acc);
-                acc = bi[t].mul_add(aj[t], acc);
-            }
-            c.add(i, j, acc);
-        }
-    }
+    crate::syrk::packed_rank_update(c, a, Some(b));
 }
 
 /// Convenience: packed lower triangle of `A·Bᵀ + B·Aᵀ`.

@@ -5,11 +5,23 @@
 //! output halves the flops relative to GEMM: computing the inclusive lower
 //! triangle of `A·Aᵀ` for `A: n×k` takes `n(n+1)·k` flops instead of
 //! `2n²k`.
+//!
+//! The packed kernel shares the register-blocked machinery of
+//! [`crate::microkernel`]: per `KC`-wide panel of `A`, *one* k-major pack
+//! of all rows serves both sides of the product (possible because
+//! `MR == NR`), and threads work on flop-balanced row chunks of the
+//! packed triangle (see [`crate::schedule`] — row `i` costs `Θ(i·k)`,
+//! so an even row split would be badly skewed). Diagonal register tiles
+//! are computed in full and stored clamped to `j ≤ i` (or `j < i`).
 
 use crate::matrix::Matrix;
+use crate::microkernel::{acc_add, microkernel, MR, NR};
+use crate::pack::{pack_rows, panel_offset};
 use crate::packed::{Diag, PackedLower};
+use crate::parallel::{available_threads, par_for_each_task};
 use crate::scalar::Scalar;
-use rayon::prelude::*;
+use crate::schedule::balanced_triangle_chunks;
+use std::ops::Range;
 
 /// Flops to compute the inclusive lower triangle of `A·Aᵀ`, `A: n×k`
 /// (one multiply + one add per iteration point; `n(n+1)/2 · 2k`).
@@ -30,7 +42,7 @@ pub fn syrk_lower_ref<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>) {
     assert_eq!(c.shape(), (n, n), "syrk: C must be n×n");
     for i in 0..n {
         let arow = a.row(i);
-        for j in 0..=i.min(n - 1) {
+        for j in 0..=i {
             let brow = a.row(j);
             let mut acc = T::zero();
             for (&x, &y) in arow.iter().zip(brow) {
@@ -41,81 +53,129 @@ pub fn syrk_lower_ref<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>) {
     }
 }
 
-/// Packed kernel: accumulate the lower triangle of `A·Aᵀ` into packed
-/// storage. Rayon-parallel over rows of `C` (each row of the packed
-/// triangle is an independent chunk of the packed buffer).
-pub fn syrk_packed<T: Scalar>(c: &mut PackedLower<T>, a: &Matrix<T>) {
-    let (n, _k) = a.shape();
-    assert_eq!(c.n(), n, "syrk_packed: dimension mismatch");
-    match c.diag() {
-        Diag::Inclusive => {
-            let rows: Vec<&[T]> = (0..n).map(|i| a.row(i)).collect();
-            // Row i of the inclusive packed triangle starts at i(i+1)/2 and
-            // has i+1 entries; build disjoint mutable slices via split_at.
-            let buf = c.as_mut_slice();
-            par_rows(
-                buf,
-                n,
-                |i| (i * (i + 1) / 2, i + 1),
-                |i, j, out| {
-                    *out = dot(rows[i], rows[j]);
-                },
-            );
-        }
-        Diag::Strict => {
-            let rows: Vec<&[T]> = (0..n).map(|i| a.row(i)).collect();
-            let buf = c.as_mut_slice();
-            par_rows(
-                buf,
-                n,
-                |i| (i * i.saturating_sub(1) / 2, i),
-                |i, j, out| {
-                    *out = dot(rows[i], rows[j]);
-                },
-            );
-        }
+/// Offset of packed row `i` and its first column bound for `diag`.
+#[inline]
+fn row_off(diag: Diag, i: usize) -> usize {
+    match diag {
+        Diag::Inclusive => i * (i + 1) / 2,
+        Diag::Strict => i * i.saturating_sub(1) / 2,
     }
 }
 
-fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
-    let mut acc = T::zero();
-    for (&a, &b) in x.iter().zip(y) {
-        acc = a.mul_add(b, acc);
+#[inline]
+fn row_end(diag: Diag, i: usize) -> usize {
+    match diag {
+        Diag::Inclusive => i + 1,
+        Diag::Strict => i,
     }
-    acc
 }
 
-/// Apply `f(i, j, &mut out)` for every packed entry, parallel over rows.
-/// `layout(i)` returns `(offset, len)` of row `i` in the packed buffer.
-/// Accumulates: `out += f`'s value is written via the closure which adds.
-fn par_rows<T: Scalar>(
-    buf: &mut [T],
-    n: usize,
-    layout: impl Fn(usize) -> (usize, usize) + Sync,
-    f: impl Fn(usize, usize, &mut T) + Sync,
+/// Shared packed-triangle driver for SYRK (`b = None`, `C += A·Aᵀ`) and
+/// SYR2K (`b = Some`, `C += A·Bᵀ + B·Aᵀ`). `KC`-panel loop outside,
+/// flop-balanced parallel row chunks inside; every packed entry is
+/// accumulated in ascending-k order independent of the chunking.
+pub(crate) fn packed_rank_update<T: Scalar>(
+    c: &mut PackedLower<T>,
+    a: &Matrix<T>,
+    b: Option<&Matrix<T>>,
 ) {
-    // Slice the packed buffer into per-row chunks (disjoint by layout).
-    let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(n);
-    let mut rest = buf;
-    let mut consumed = 0;
-    for i in 0..n {
-        let (off, len) = layout(i);
-        debug_assert_eq!(off, consumed, "rows must tile the packed buffer");
-        let (row, tail) = rest.split_at_mut(len);
-        chunks.push((i, row));
-        rest = tail;
-        consumed += len;
+    let (n, k) = a.shape();
+    assert_eq!(c.n(), n, "packed rank update: dimension mismatch");
+    if let Some(b) = b {
+        assert_eq!(
+            b.shape(),
+            (n, k),
+            "syr2k: A and B must have identical shapes"
+        );
     }
-    chunks.into_par_iter().for_each(|(i, row)| {
-        for (j, out) in row.iter_mut().enumerate() {
-            let mut acc = T::zero();
-            f(i, j, &mut acc);
-            *out += acc;
+    if n == 0 || k == 0 {
+        return;
+    }
+    let diag = c.diag();
+    let chunks = balanced_triangle_chunks(n, diag, available_threads(), MR);
+    let mut apack = Vec::new();
+    let mut bpack = Vec::new();
+    for p0 in (0..k).step_by(crate::gemm::KC) {
+        let pb = crate::gemm::KC.min(k - p0);
+        // One full-height pack serves the row side and the column side
+        // of every register tile (MR == NR).
+        pack_rows(&mut apack, a, 0..n, p0..p0 + pb, MR);
+        if let Some(b) = b {
+            pack_rows(&mut bpack, b, 0..n, p0..p0 + pb, MR);
         }
-    });
+        let tasks = split_triangle(c, &chunks);
+        par_for_each_task(tasks, |_, (rows, cbuf)| {
+            let base = row_off(diag, rows.start);
+            for it in (rows.start..rows.end).step_by(MR) {
+                let rr = MR.min(rows.end - it);
+                let colmax = row_end(diag, it + rr - 1);
+                for j0 in (0..colmax).step_by(NR) {
+                    let acc = if b.is_some() {
+                        // A·Bᵀ tile plus B·Aᵀ tile, fused before the store.
+                        let ab = microkernel(
+                            pb,
+                            &apack[panel_offset(it, pb, MR)..],
+                            &bpack[panel_offset(j0, pb, NR)..],
+                        );
+                        let ba = microkernel(
+                            pb,
+                            &bpack[panel_offset(it, pb, MR)..],
+                            &apack[panel_offset(j0, pb, NR)..],
+                        );
+                        acc_add(&ab, &ba)
+                    } else {
+                        microkernel(
+                            pb,
+                            &apack[panel_offset(it, pb, MR)..],
+                            &apack[panel_offset(j0, pb, NR)..],
+                        )
+                    };
+                    // Store row by row: packed rows are contiguous, and
+                    // tiles straddling the diagonal clamp to the row's
+                    // column bound.
+                    for (u, arow) in acc.iter().enumerate().take(rr) {
+                        let i = it + u;
+                        let jend = (j0 + NR).min(row_end(diag, i));
+                        if jend <= j0 {
+                            continue;
+                        }
+                        let off = row_off(diag, i) - base + j0;
+                        let dst = &mut cbuf[off..off + jend - j0];
+                        for (d, &v) in dst.iter_mut().zip(arow.iter()) {
+                            *d += v;
+                        }
+                    }
+                }
+            }
+        });
+    }
 }
 
-/// Convenience: the inclusive lower triangle of `A·Aᵀ` as packed storage.
+/// Split the packed buffer into per-chunk sub-slices (each chunk's rows
+/// are contiguous in packed row-major order).
+fn split_triangle<'c, T: Scalar>(
+    c: &'c mut PackedLower<T>,
+    chunks: &[Range<usize>],
+) -> Vec<(Range<usize>, &'c mut [T])> {
+    let diag = c.diag();
+    let mut rest = c.as_mut_slice();
+    let mut out = Vec::with_capacity(chunks.len());
+    for r in chunks {
+        let len = row_off(diag, r.end) - row_off(diag, r.start);
+        let (head, tail) = rest.split_at_mut(len);
+        out.push((r.clone(), head));
+        rest = tail;
+    }
+    out
+}
+
+/// Packed kernel: accumulate the lower triangle of `A·Aᵀ` into packed
+/// storage via the register-blocked driver.
+pub fn syrk_packed<T: Scalar>(c: &mut PackedLower<T>, a: &Matrix<T>) {
+    packed_rank_update(c, a, None);
+}
+
+/// Convenience: the lower triangle of `A·Aᵀ` as packed storage.
 pub fn syrk_packed_new<T: Scalar>(a: &Matrix<T>, diag: Diag) -> PackedLower<T> {
     let mut c = PackedLower::zeros(a.rows(), diag);
     syrk_packed(&mut c, a);
@@ -168,7 +228,7 @@ mod tests {
 
     #[test]
     fn packed_inclusive_matches_reference() {
-        for (n, k) in [(1, 3), (5, 5), (17, 9), (40, 64)] {
+        for (n, k) in [(1, 3), (5, 5), (17, 9), (40, 64), (70, 300)] {
             let a = seeded_matrix::<f64>(n, k, 7 * n as u64 + k as u64);
             let p = syrk_packed_new(&a, Diag::Inclusive);
             let mut dense = Matrix::zeros(n, n);
@@ -241,5 +301,21 @@ mod tests {
         let a = Matrix::<f64>::zeros(4, 0);
         let p = syrk_packed_new(&a, Diag::Inclusive);
         assert!(p.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn packed_result_independent_of_thread_count() {
+        let a = seeded_matrix::<f64>(101, 67, 13);
+        for diag in [Diag::Inclusive, Diag::Strict] {
+            let one = {
+                let _g = crate::parallel::limit_threads(1);
+                syrk_packed_new(&a, diag)
+            };
+            let many = {
+                let _g = crate::parallel::limit_threads(5);
+                syrk_packed_new(&a, diag)
+            };
+            assert_eq!(one, many, "accumulation order must not depend on chunking");
+        }
     }
 }

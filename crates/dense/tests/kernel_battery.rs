@@ -1,0 +1,164 @@
+//! Shape battery for the packed register-blocked kernels: every
+//! combination of dimensions straddling the microkernel tile size
+//! (`MR = NR = 4`), plus tall, wide, and square shapes, compared against
+//! the scalar reference kernels to 1e-10 — and a coverage check that the
+//! flop-balanced triangular schedule tiles the packed triangle exactly
+//! once.
+
+use syrk_dense::microkernel::{MR, NR};
+use syrk_dense::{
+    balanced_triangle_chunks, gemm_nt, gemm_nt_ref, seeded_matrix, syrk_lower_ref, syrk_packed_new,
+    Diag, Matrix, PackedLower,
+};
+
+/// Dimensions around the register-tile edges: 0, 1, MR−1, MR, MR+1 (NR
+/// equals MR, so the same set straddles both tile dimensions).
+const EDGE: [usize; 5] = [0, 1, MR - 1, MR, MR + 1];
+
+fn max_abs(a: &Matrix<f64>, b: &Matrix<f64>) -> f64 {
+    assert_eq!(a.shape(), b.shape());
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn gemm_nt_matches_reference_on_edge_shapes() {
+    // m, n, k each sweep the edge set independently — 125 shapes covering
+    // every packing/microkernel fringe combination.
+    for &m in &EDGE {
+        for &n in &EDGE {
+            for &k in &EDGE {
+                let a = seeded_matrix::<f64>(m, k, (m * 31 + k) as u64 + 1);
+                let b = seeded_matrix::<f64>(n, k, (n * 17 + k) as u64 + 2);
+                let mut want = Matrix::zeros(m, n);
+                gemm_nt_ref(&mut want, &a, &b);
+                let mut got = Matrix::zeros(m, n);
+                gemm_nt(&mut got, &a, &b);
+                let err = max_abs(&got, &want);
+                assert!(err < 1e-10, "gemm_nt ({m},{n},{k}): err {err}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gemm_nt_matches_reference_on_aspect_extremes() {
+    // Tall (m ≫ n), wide (n ≫ m), deep (k ≫ m,n), and square — all sized
+    // to cross the L2 panel boundaries (KC = 256, MC = 64, NC = 256).
+    for &(m, n, k) in &[
+        (300usize, 5usize, 70usize), // tall
+        (5, 300, 70),                // wide
+        (9, 11, 700),                // deep: several KC panels
+        (130, 130, 130),             // square, off the tile grid
+    ] {
+        let a = seeded_matrix::<f64>(m, k, 5);
+        let b = seeded_matrix::<f64>(n, k, 6);
+        let mut want = Matrix::zeros(m, n);
+        gemm_nt_ref(&mut want, &a, &b);
+        let mut got = Matrix::zeros(m, n);
+        gemm_nt(&mut got, &a, &b);
+        let err = max_abs(&got, &want);
+        assert!(err < 1e-10, "gemm_nt ({m},{n},{k}): err {err}");
+    }
+}
+
+fn syrk_reference_packed(a: &Matrix<f64>, diag: Diag) -> PackedLower<f64> {
+    let n = a.rows();
+    let mut full = Matrix::zeros(n, n);
+    syrk_lower_ref(&mut full, a);
+    let mut out = PackedLower::zeros(n, diag);
+    for i in 0..n {
+        let jmax = match diag {
+            Diag::Inclusive => i + 1,
+            Diag::Strict => i,
+        };
+        for j in 0..jmax {
+            out.set(i, j, full[(i, j)]);
+        }
+    }
+    out
+}
+
+#[test]
+fn syrk_packed_matches_reference_on_edge_shapes() {
+    for &n in &EDGE {
+        for &k in &EDGE {
+            for diag in [Diag::Inclusive, Diag::Strict] {
+                let a = seeded_matrix::<f64>(n, k, (n * 13 + k) as u64 + 3);
+                let want = syrk_reference_packed(&a, diag);
+                let got = syrk_packed_new(&a, diag);
+                assert_eq!(got.len(), want.len());
+                let err = want
+                    .as_slice()
+                    .iter()
+                    .zip(got.as_slice())
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0, f64::max);
+                assert!(err < 1e-10, "syrk_packed (n={n},k={k},{diag:?}): err {err}");
+            }
+        }
+    }
+}
+
+#[test]
+fn syrk_packed_matches_reference_on_aspect_extremes() {
+    for &(n, k) in &[(130usize, 5usize), (5, 700), (130, 130)] {
+        for diag in [Diag::Inclusive, Diag::Strict] {
+            let a = seeded_matrix::<f64>(n, k, 7);
+            let want = syrk_reference_packed(&a, diag);
+            let got = syrk_packed_new(&a, diag);
+            let err = want
+                .as_slice()
+                .iter()
+                .zip(got.as_slice())
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-10, "syrk_packed (n={n},k={k},{diag:?}): err {err}");
+        }
+    }
+}
+
+/// The flop-balanced schedule must partition the packed triangle: writing
+/// each chunk's packed row range exactly once touches every word exactly
+/// once, with no gaps, overlaps, or misaligned boundaries.
+#[test]
+fn balanced_chunks_cover_packed_triangle_exactly_once() {
+    for &n in &[1usize, 4, 7, 64, 257] {
+        for diag in [Diag::Inclusive, Diag::Strict] {
+            for parts in [1usize, 2, 3, 8] {
+                let chunks = balanced_triangle_chunks(n, diag, parts, MR.min(NR));
+                let mut touched = vec![0u32; diag.packed_len(n)];
+                let mut covered_rows = 0;
+                for r in &chunks {
+                    assert!(
+                        r.start == covered_rows,
+                        "gap or overlap at row {covered_rows}"
+                    );
+                    assert!(
+                        r.start % MR == 0,
+                        "chunk start {} not aligned to MR={MR}",
+                        r.start
+                    );
+                    covered_rows = r.end;
+                    for i in r.clone() {
+                        let (off, len) = match diag {
+                            Diag::Inclusive => (i * (i + 1) / 2, i + 1),
+                            Diag::Strict => (i * i.saturating_sub(1) / 2, i),
+                        };
+                        for w in &mut touched[off..off + len] {
+                            *w += 1;
+                        }
+                    }
+                }
+                assert_eq!(covered_rows, n, "chunks must tile all {n} rows");
+                assert!(
+                    touched.iter().all(|&w| w == 1),
+                    "n={n} {diag:?} parts={parts}: some packed word not covered exactly once"
+                );
+            }
+        }
+    }
+}

@@ -5,8 +5,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, Sender};
-use parking_lot::Mutex;
+use crate::sync::{
+    channel::{Receiver, Sender},
+    Mutex,
+};
 
 use crate::cost::{CostModel, RankCost};
 use crate::envelope::{Envelope, Payload};

@@ -40,6 +40,7 @@ mod comm;
 mod cost;
 mod envelope;
 mod machine;
+mod sync;
 mod topology;
 mod trace;
 

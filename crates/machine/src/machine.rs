@@ -6,8 +6,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::unbounded;
-use parking_lot::Mutex;
+use crate::sync::{channel::unbounded, Mutex};
 
 use crate::comm::{Comm, World};
 use crate::cost::{CostModel, CostReport, RankCost};

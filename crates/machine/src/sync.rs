@@ -1,0 +1,70 @@
+//! Minimal synchronization primitives for the simulated machine.
+//!
+//! The workspace builds with no external crates, so the two pieces of
+//! parking_lot/crossbeam the machine used are provided here on top of
+//! `std`: a panic-transparent [`Mutex`] (lock-poisoning is ignored — a
+//! panicking rank already poisons the whole run via the `poisoned` flag)
+//! and an unbounded MPSC [`channel`] (std's `mpsc::Sender` is `Sync`
+//! since Rust 1.72, which is all the fully connected fabric needs).
+
+use std::sync::{self, MutexGuard};
+
+/// A mutex whose `lock` never returns a poison error: if a thread
+/// panicked while holding the lock, the data is handed out anyway. The
+/// machine's cost ledgers and mailboxes stay consistent under panics
+/// because every mutation is a single short critical section.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap `value` in a mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, ignoring poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Unbounded MPSC channel used as the network fabric between ranks.
+pub mod channel {
+    pub use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_survives_panicking_holder() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn channel_delivers_in_order() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(
+            (0..4).map(|_| rx.recv().unwrap()).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
+        );
+    }
+}

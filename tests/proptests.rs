@@ -1,170 +1,236 @@
-//! Property-based tests (proptest) for the paper's invariants: Lemma 3
-//! on arbitrary strictly-lower point sets, Lemma 4 quasiconvexity,
-//! Lemma 6 analytic-vs-numeric agreement and KKT certificates,
-//! distribution validity, partitions, packed storage, and the simulated
-//! collectives.
+//! Property-based tests for the paper's invariants: Lemma 3 on arbitrary
+//! strictly-lower point sets, Lemma 4 quasiconvexity, Lemma 6
+//! analytic-vs-numeric agreement and KKT certificates, distribution
+//! validity, partitions, packed storage, and the simulated collectives.
+//!
+//! Cases are drawn from the workspace's own deterministic generator
+//! ([`DetRng`]) instead of a property-testing framework: every run
+//! exercises the same case set, and a failure message pins the exact
+//! inputs, which is all shrinking bought us for these small domains.
 
-use proptest::prelude::*;
 use syrk_repro::core::{syrk_lower_bound, TriangleBlockDist};
-use syrk_repro::dense::{Diag, PackedLower, Partition1D};
+use syrk_repro::dense::{DetRng, Diag, PackedLower, Partition1D};
 use syrk_repro::geometry::{
     check_lemma3_proof_steps, check_loomis_whitney, check_symmetric_lw, quasiconvex, Lemma6Problem,
     PointSet,
 };
 use syrk_repro::machine::Machine;
 
-/// Strategy: a set of strictly-lower points (j < i) in a small box.
-fn strictly_lower_points() -> impl Strategy<Value = PointSet> {
-    prop::collection::vec((0i64..24, 0i64..24, 0i64..8), 0..200).prop_map(|pts| {
-        PointSet::from_iter(pts.into_iter().filter_map(|(a, b, k)| {
-            let (i, j) = (a.max(b), a.min(b));
-            (i != j).then_some((i, j, k))
-        }))
-    })
+/// A random set of strictly-lower points (j < i) in a small box.
+fn strictly_lower_points(rng: &mut DetRng) -> PointSet {
+    let len = rng.gen_range(0, 200);
+    PointSet::from_iter((0..len).filter_map(|_| {
+        let a = rng.gen_range(0, 24) as i64;
+        let b = rng.gen_range(0, 24) as i64;
+        let k = rng.gen_range(0, 8) as i64;
+        let (i, j) = (a.max(b), a.min(b));
+        (i != j).then_some((i, j, k))
+    }))
 }
 
-proptest! {
-    /// Lemma 3 holds for every strictly-lower point set.
-    #[test]
-    fn lemma3_holds(v in strictly_lower_points()) {
-        prop_assert!(check_symmetric_lw(&v));
-        prop_assert!(check_lemma3_proof_steps(&v));
+/// Lemma 3 holds for every strictly-lower point set.
+#[test]
+fn lemma3_holds() {
+    let mut rng = DetRng::seed_from_u64(0x1e3);
+    for case in 0..256 {
+        let v = strictly_lower_points(&mut rng);
+        assert!(check_symmetric_lw(&v), "case {case}");
+        assert!(check_lemma3_proof_steps(&v), "case {case}");
     }
+}
 
-    /// Plain Loomis–Whitney (Lemma 1) holds for arbitrary point sets.
-    #[test]
-    fn loomis_whitney_holds(pts in prop::collection::vec((0i64..16, 0i64..16, 0i64..16), 0..200)) {
-        let v = PointSet::from_iter(pts);
-        prop_assert!(check_loomis_whitney(&v));
+/// Plain Loomis–Whitney (Lemma 1) holds for arbitrary point sets.
+#[test]
+fn loomis_whitney_holds() {
+    let mut rng = DetRng::seed_from_u64(0x11);
+    for case in 0..256 {
+        let len = rng.gen_range(0, 200);
+        let v = PointSet::from_iter((0..len).map(|_| {
+            (
+                rng.gen_range(0, 16) as i64,
+                rng.gen_range(0, 16) as i64,
+                rng.gen_range(0, 16) as i64,
+            )
+        }));
+        assert!(check_loomis_whitney(&v), "case {case}");
     }
+}
 
-    /// Lemma 4: the quasiconvexity witness holds at random point pairs in
-    /// the positive quadrant, for random L.
-    #[test]
-    fn lemma4_quasiconvex(
-        l in -100.0f64..100.0,
-        x1 in 0.01f64..50.0, x2 in 0.01f64..50.0,
-        y1 in 0.01f64..50.0, y2 in 0.01f64..50.0,
-    ) {
-        prop_assert!(quasiconvex::quasiconvex_witness(l, (x1, x2), (y1, y2)));
+/// Lemma 4: the quasiconvexity witness holds at random point pairs in
+/// the positive quadrant, for random L.
+#[test]
+fn lemma4_quasiconvex() {
+    let mut rng = DetRng::seed_from_u64(0x14);
+    for case in 0..4096 {
+        let l = rng.gen_range_f64(-100.0, 100.0);
+        let x = (rng.gen_range_f64(0.01, 50.0), rng.gen_range_f64(0.01, 50.0));
+        let y = (rng.gen_range_f64(0.01, 50.0), rng.gen_range_f64(0.01, 50.0));
+        assert!(
+            quasiconvex::quasiconvex_witness(l, x, y),
+            "case {case}: L={l} x={x:?} y={y:?}"
+        );
     }
+}
 
-    /// Lemma 6: analytic optimum = numeric optimum, is feasible, and the
-    /// paper's KKT certificate verifies — for arbitrary instances.
-    #[test]
-    fn lemma6_analytic_numeric_kkt(n1 in 2u64..3000, n2 in 1u64..3000, p in 1u64..100_000) {
+/// Lemma 6: analytic optimum = numeric optimum, is feasible, and the
+/// paper's KKT certificate verifies — for arbitrary instances.
+#[test]
+fn lemma6_analytic_numeric_kkt() {
+    let mut rng = DetRng::seed_from_u64(0x16);
+    for case in 0..256 {
+        let n1 = rng.gen_range(2, 3000) as u64;
+        let n2 = rng.gen_range(1, 3000) as u64;
+        let p = rng.gen_range(1, 100_000) as u64;
         let pr = Lemma6Problem::new(n1, n2, p);
         let a = pr.analytic_solution();
         let n = pr.numeric_solution();
-        prop_assert!(pr.is_feasible(a, 1e-9), "analytic infeasible: {a:?}");
+        assert!(
+            pr.is_feasible(a, 1e-9),
+            "case {case} ({n1},{n2},{p}): analytic infeasible: {a:?}"
+        );
         let rel = (a.objective() - n.objective()).abs() / a.objective();
-        prop_assert!(rel < 1e-6, "analytic {} vs numeric {}", a.objective(), n.objective());
-        prop_assert!(pr.verify_kkt().holds(1e-9));
+        assert!(
+            rel < 1e-6,
+            "case {case} ({n1},{n2},{p}): analytic {} vs numeric {}",
+            a.objective(),
+            n.objective()
+        );
+        assert!(pr.verify_kkt().holds(1e-9), "case {case} ({n1},{n2},{p})");
     }
+}
 
-    /// The Theorem 1 bound is monotonically non-increasing in P and
-    /// non-negative after subtracting the resident term.
-    #[test]
-    fn bound_monotone_in_p(n1 in 2usize..500, n2 in 1usize..500, p in 1usize..5000) {
+/// The Theorem 1 bound is monotonically non-increasing in P and
+/// non-negative after subtracting the resident term.
+#[test]
+fn bound_monotone_in_p() {
+    let mut rng = DetRng::seed_from_u64(0x01);
+    for case in 0..512 {
+        let n1 = rng.gen_range(2, 500);
+        let n2 = rng.gen_range(1, 500);
+        let p = rng.gen_range(1, 5000);
         let b1 = syrk_lower_bound(n1, n2, p);
         let b2 = syrk_lower_bound(n1, n2, p + 1);
-        prop_assert!(b2.w <= b1.w * (1.0 + 1e-12));
-        prop_assert!(b1.communicated() >= 0.0);
+        assert!(b2.w <= b1.w * (1.0 + 1e-12), "case {case} ({n1},{n2},{p})");
+        assert!(b1.communicated() >= 0.0, "case {case} ({n1},{n2},{p})");
     }
+}
 
-    /// Partition1D tiles the interval with near-even, order-preserving
-    /// blocks and a consistent owner map.
-    #[test]
-    fn partition_invariants(n in 0usize..500, parts in 1usize..40) {
+/// Partition1D tiles the interval with near-even, order-preserving
+/// blocks and a consistent owner map.
+#[test]
+fn partition_invariants() {
+    let mut rng = DetRng::seed_from_u64(0x1d);
+    for case in 0..512 {
+        let n = rng.gen_range(0, 500);
+        let parts = rng.gen_range(1, 40);
         let part = Partition1D::new(n, parts);
         let mut next = 0;
         let mut sizes = Vec::new();
         for q in 0..parts {
             let r = part.range(q);
-            prop_assert_eq!(r.start, next);
+            assert_eq!(r.start, next, "case {case} ({n},{parts})");
             sizes.push(r.len());
             next = r.end;
         }
-        prop_assert_eq!(next, n);
+        assert_eq!(next, n, "case {case} ({n},{parts})");
         let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
-        prop_assert!(mx - mn <= 1);
+        assert!(mx - mn <= 1, "case {case} ({n},{parts})");
         for i in 0..n {
-            prop_assert!(part.range(part.owner(i)).contains(&i));
+            assert!(
+                part.range(part.owner(i)).contains(&i),
+                "case {case} ({n},{parts}) i={i}"
+            );
         }
     }
+}
 
-    /// Packed lower storage round-trips through a full symmetric matrix.
-    #[test]
-    fn packed_roundtrip(n in 1usize..20, seed in 0u64..1000) {
+/// Packed lower storage round-trips through a full symmetric matrix.
+#[test]
+fn packed_roundtrip() {
+    let mut rng = DetRng::seed_from_u64(0x9a);
+    for case in 0..128 {
+        let n = rng.gen_range(1, 20);
+        let seed = rng.next_u64();
         let m = syrk_repro::dense::seeded_matrix::<f64>(n, n, seed);
         let p = PackedLower::from_matrix(&m, Diag::Inclusive);
         let full = p.to_full_symmetric();
         for i in 0..n {
             for j in 0..=i {
-                prop_assert_eq!(full[(i, j)], m[(i, j)]);
-                prop_assert_eq!(full[(j, i)], m[(i, j)]);
+                assert_eq!(full[(i, j)], m[(i, j)], "case {case} n={n}");
+                assert_eq!(full[(j, i)], m[(i, j)], "case {case} n={n}");
             }
         }
         let p2 = PackedLower::from_matrix(&full, Diag::Inclusive);
-        prop_assert_eq!(p.as_slice(), p2.as_slice());
+        assert_eq!(p.as_slice(), p2.as_slice(), "case {case} n={n}");
     }
+}
 
-    /// Simulated reduce-scatter equals the directly computed sum for
-    /// arbitrary inputs.
-    #[test]
-    fn reduce_scatter_matches_direct_sum(
-        p in 1usize..6,
-        seg in 0usize..8,
-        seed in 0u64..100,
-    ) {
+/// Simulated reduce-scatter equals the directly computed sum for
+/// arbitrary inputs.
+#[test]
+fn reduce_scatter_matches_direct_sum() {
+    let mut rng = DetRng::seed_from_u64(0x2c);
+    for case in 0..48 {
+        let p = rng.gen_range(1, 6);
+        let seg = rng.gen_range(0, 8);
+        let seed = rng.gen_range(0, 100) as u64;
         let out = Machine::new(p).run(move |comm| {
             let me = comm.rank();
             let segments: Vec<Vec<f64>> = (0..p)
-                .map(|q| (0..seg).map(|t| ((me * 31 + q * 7 + t) as f64) + seed as f64).collect())
+                .map(|q| {
+                    (0..seg)
+                        .map(|t| ((me * 31 + q * 7 + t) as f64) + seed as f64)
+                        .collect()
+                })
                 .collect();
             comm.reduce_scatter(segments)
         });
         for (q, got) in out.results.iter().enumerate() {
             for (t, &x) in got.iter().enumerate() {
-                let want: f64 = (0..p).map(|me| ((me * 31 + q * 7 + t) as f64) + seed as f64).sum();
-                prop_assert!((x - want).abs() < 1e-9, "P={p} q={q} t={t}");
+                let want: f64 = (0..p)
+                    .map(|me| ((me * 31 + q * 7 + t) as f64) + seed as f64)
+                    .sum();
+                assert!((x - want).abs() < 1e-9, "case {case} P={p} q={q} t={t}");
             }
         }
     }
 }
 
-proptest! {
-    // Distribution construction is relatively expensive; fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Every prime c yields a valid Triangle Block Distribution whose
-    /// owner maps are mutually consistent.
-    #[test]
-    fn triangle_dist_valid(c_idx in 0usize..5) {
-        let c = [2usize, 3, 5, 7, 11][c_idx];
+/// Every prime c yields a valid Triangle Block Distribution whose
+/// owner maps are mutually consistent.
+#[test]
+fn triangle_dist_valid() {
+    for c in [2usize, 3, 5, 7, 11] {
         let d = TriangleBlockDist::new(c);
-        prop_assert!(d.validate().is_ok());
+        assert!(d.validate().is_ok(), "c={c}");
         // owner_of ↔ blocks_of consistency.
         for k in 0..d.p() {
             for (i, j) in d.blocks_of(k) {
-                prop_assert_eq!(d.owner_of(i, j), k);
+                assert_eq!(d.owner_of(i, j), k, "c={c}");
             }
         }
         // diag_owner_of ↔ d_block consistency.
         for i in 0..d.num_blocks() {
             let k = d.diag_owner_of(i);
-            prop_assert_eq!(d.d_block(k), Some(i));
+            assert_eq!(d.d_block(k), Some(i), "c={c}");
         }
     }
+}
 
-    /// Distributed SYRK via the planner is correct on arbitrary small
-    /// instances (failure-injection style fuzz over shapes and P).
-    #[test]
-    fn planned_syrk_fuzz(n1 in 2usize..28, n2 in 1usize..28, p in 1usize..14, seed in 0u64..50) {
+/// Distributed SYRK via the planner is correct on arbitrary small
+/// instances (failure-injection style fuzz over shapes and P).
+#[test]
+fn planned_syrk_fuzz() {
+    let mut rng = DetRng::seed_from_u64(0x3d);
+    for case in 0..24 {
+        let n1 = rng.gen_range(2, 28);
+        let n2 = rng.gen_range(1, 28);
+        let p = rng.gen_range(1, 14);
+        let seed = rng.gen_range(0, 50) as u64;
         let a = syrk_repro::dense::seeded_matrix::<f64>(n1, n2, seed);
         let (_, run) = syrk_repro::run_auto(&a, p, syrk_repro::CostModel::bandwidth_only());
         let want = syrk_repro::dense::syrk_full_reference(&a);
         let err = syrk_repro::dense::max_abs_diff(&run.c, &want);
-        prop_assert!(err < 1e-9, "({n1},{n2},{p},{seed}): {err}");
+        assert!(err < 1e-9, "case {case} ({n1},{n2},{p},{seed}): {err}");
     }
 }
