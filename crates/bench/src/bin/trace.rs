@@ -1,29 +1,77 @@
-//! Communication-timeline dump: run the 2D algorithm with event tracing
-//! and render per-rank timelines.
+//! Phase-attributed communication trace: run one of the SYRK algorithms
+//! with event tracing and render per-rank timelines, the per-phase cost
+//! table, and the bound-attribution residuals.
 //!
 //! ```text
-//! trace [n1] [n2] [c]        # defaults: 36 8 3
+//! trace                      # 2D at the default shape (36, 8, c = 3)
+//! trace 1d [n1 n2 p]         # Algorithm 1        (defaults 36 8 4)
+//! trace 2d [n1 n2 c]         # Algorithm 2        (defaults 36 8 3)
+//! trace 3d [n1 n2 c p2]      # Algorithm 3        (defaults 36 24 3 2)
+//! trace plan [n1 n2 P]       # planner's pick     (defaults 36 8 12)
 //! ```
 //!
-//! Prints a summary per rank and writes the full event log to
-//! `target/experiments/trace_2d.csv` (rank,kind,peer,amount,clock).
+//! Writes the full event log as CSV and as Chrome trace-event JSON
+//! (loadable in Perfetto / `chrome://tracing`; timestamps are the
+//! simulated α-β-γ clock) to `target/experiments/trace_<mode>.{csv,json}`.
+//! Malformed arguments print usage and exit with status 2.
 
-use std::fmt::Write as _;
-use syrk_core::syrk_2d_traced;
-use syrk_dense::seeded_matrix;
-use syrk_machine::{CostModel, EventKind};
+use syrk_bench::timing::format_time;
+use syrk_core::{
+    attribute_bounds, plan, syrk_1d_traced, syrk_2d_traced, syrk_3d_traced, Plan, SyrkRunResult,
+};
+use syrk_dense::{kernel_stats, seeded_matrix, Matrix};
+use syrk_machine::{chrome_trace_json, timelines_csv, CostModel, EventKind, Timeline};
+
+const USAGE: &str = "\
+usage: trace [mode] [shape]
+  trace                  2D at the default shape (36, 8, c = 3)
+  trace 1d [n1 n2 p]     Algorithm 1 (defaults 36 8 4)
+  trace 2d [n1 n2 c]     Algorithm 2 (defaults 36 8 3)
+  trace 3d [n1 n2 c p2]  Algorithm 3 (defaults 36 24 3 2)
+  trace plan [n1 n2 P]   the planner's pick for a P-rank budget (defaults 36 8 12)
+shape arguments are positive integers";
+
+fn usage_exit() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// Parse every shape argument as a positive integer or exit with usage.
+fn parse_shape(args: &[String]) -> Vec<usize> {
+    args.iter()
+        .map(|a| match a.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("trace: bad shape argument {a:?} (want a positive integer)\n");
+                usage_exit()
+            }
+        })
+        .collect()
+}
 
 fn main() {
-    let args: Vec<usize> = std::env::args()
-        .skip(1)
-        .map(|a| a.parse().expect("integer args"))
-        .collect();
-    let (n1, n2, c) = match args[..] {
-        [] => (36, 8, 3),
-        [n1, n2, c] => (n1, n2, c),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, rest) = match args.split_first() {
+        None => (String::from("2d"), &args[..]),
+        Some((m, rest)) => (m.to_ascii_lowercase(), rest),
+    };
+
+    let (label, n1, n2, the_plan) = match (mode.as_str(), &parse_shape(rest)[..]) {
+        ("1d", []) => ("1d", 36, 8, Plan::OneD { p: 4 }),
+        ("1d", [n1, n2, p]) => ("1d", *n1, *n2, Plan::OneD { p: *p }),
+        ("2d", []) => ("2d", 36, 8, Plan::TwoD { c: 3 }),
+        ("2d", [n1, n2, c]) => ("2d", *n1, *n2, Plan::TwoD { c: *c }),
+        ("3d", []) => ("3d", 36, 24, Plan::ThreeD { c: 3, p2: 2 }),
+        ("3d", [n1, n2, c, p2]) => ("3d", *n1, *n2, Plan::ThreeD { c: *c, p2: *p2 }),
+        ("plan", []) => ("plan", 36, 8, plan(36, 8, 12).plan),
+        ("plan", [n1, n2, p]) => ("plan", *n1, *n2, plan(*n1, *n2, *p).plan),
+        ("1d" | "2d" | "3d" | "plan", _) => {
+            eprintln!("trace: wrong number of shape arguments for mode {mode:?}\n");
+            usage_exit()
+        }
         _ => {
-            eprintln!("usage: trace [n1 n2 c]");
-            std::process::exit(2);
+            eprintln!("trace: unknown mode {mode:?}\n");
+            usage_exit()
         }
     };
 
@@ -33,17 +81,67 @@ fn main() {
         beta: 0.01,
         gamma: 1e-5,
     };
-    let (run, traces) = syrk_2d_traced(&a, c, model);
 
+    let kernels_before = kernel_stats();
+    let wall = std::time::Instant::now();
+    let (run, traces) = run_traced(&a, the_plan, model);
+    let wall = wall.elapsed().as_secs_f64();
+    let kernels = kernel_stats().since(&kernels_before);
+
+    report(label, n1, n2, the_plan, &run, &traces);
+
+    let total_flops: u64 = run.cost.ranks.iter().map(|r| r.flops).sum();
     println!(
-        "2D SYRK trace: A {n1}×{n2}, c = {c}, P = {}",
+        "\nkernel engine: {} pack words, {} microkernel calls, \
+         {:.3e} effective GFLOP/s ({} wall)",
+        kernels.pack_words,
+        kernels.microkernel_calls,
+        total_flops as f64 / wall.max(1e-9) / 1e9,
+        format_time(wall),
+    );
+
+    let dir = std::path::Path::new("target/experiments");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("trace: cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let csv_path = dir.join(format!("trace_{label}.csv"));
+    let json_path = dir.join(format!("trace_{label}.json"));
+    for (path, payload) in [
+        (&csv_path, timelines_csv(&traces)),
+        (&json_path, chrome_trace_json(&traces)),
+    ] {
+        if let Err(e) = std::fs::write(path, payload) {
+            eprintln!("trace: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "full event log: {} (CSV), {} (Chrome trace JSON)",
+        csv_path.display(),
+        json_path.display()
+    );
+}
+
+/// Dispatch the traced run for a plan.
+fn run_traced(a: &Matrix<f64>, plan: Plan, model: CostModel) -> (SyrkRunResult, Vec<Timeline>) {
+    match plan {
+        Plan::OneD { p } => syrk_1d_traced(a, p, model),
+        Plan::TwoD { c } => syrk_2d_traced(a, c, model),
+        Plan::ThreeD { c, p2 } => syrk_3d_traced(a, c, p2, model),
+    }
+}
+
+/// Per-rank summary, the phase table, and the bound-attribution residuals.
+fn report(label: &str, n1: usize, n2: usize, plan: Plan, run: &SyrkRunResult, traces: &[Timeline]) {
+    println!(
+        "{label} SYRK trace: A {n1}×{n2}, plan {plan:?}, P = {}",
         run.cost.num_ranks()
     );
     println!(
         "{:>5} {:>8} {:>8} {:>10} {:>10} {:>12}",
         "rank", "events", "exchgs", "words", "flops", "final clock"
     );
-    let mut csv = String::from("rank,kind,peer,amount,clock\n");
     for (r, tl) in traces.iter().enumerate() {
         let exchgs = tl.iter().filter(|e| e.kind == EventKind::Exchange).count();
         println!(
@@ -55,12 +153,9 @@ fn main() {
             run.cost.ranks[r].flops,
             run.cost.ranks[r].clock
         );
-        for e in tl {
-            let _ = writeln!(csv, "{r},{}", e.to_csv_row());
-        }
     }
-    std::fs::create_dir_all("target/experiments").expect("mkdir");
-    std::fs::write("target/experiments/trace_2d.csv", csv).expect("write CSV");
-    println!("\nfull event log: target/experiments/trace_2d.csv");
-    println!("critical path (max clock): {:.4}", run.cost.elapsed());
+    println!("critical path (max clock): {:.4}\n", run.cost.elapsed());
+    print!("{}", run.cost.phase_table());
+    println!();
+    print!("{}", attribute_bounds(n1, n2, plan, &run.cost));
 }

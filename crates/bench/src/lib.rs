@@ -9,9 +9,11 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod table;
 pub mod timing;
 
 pub use experiments::{all, Experiment};
+pub use json::{parse as parse_json, Json, JsonError};
 pub use table::{fnum, Table};
 pub use timing::{fast_mode, Group, Measurement};

@@ -13,9 +13,10 @@ use syrk_dense::{
     limit_threads, machine_thread_budget, syrk_flops, syrk_packed_new, Diag, Matrix, PackedLower,
     Partition1D,
 };
-use syrk_machine::{CostModel, Machine, ReduceScatterAlg};
+use syrk_machine::{CostModel, Machine, ReduceScatterAlg, Timeline};
 
 use super::common::SyrkRunResult;
+use crate::attribution::{PHASE_LOCAL_SYRK, PHASE_REDUCE_SCATTER_C};
 
 /// Run Algorithm 1 on a simulated machine with `p` ranks.
 ///
@@ -36,13 +37,37 @@ pub fn syrk_1d_with(
     model: CostModel,
     rs_alg: ReduceScatterAlg,
 ) -> SyrkRunResult {
+    syrk_1d_impl(a, p, model, rs_alg, false).0
+}
+
+/// Algorithm 1 with event tracing enabled: returns the run result plus
+/// the per-rank communication timelines (see `syrk_machine::Event`).
+pub fn syrk_1d_traced(
+    a: &Matrix<f64>,
+    p: usize,
+    model: CostModel,
+) -> (SyrkRunResult, Vec<Timeline>) {
+    let (run, traces) = syrk_1d_impl(a, p, model, ReduceScatterAlg::PairwiseExchange, true);
+    (run, traces.expect("tracing was enabled"))
+}
+
+fn syrk_1d_impl(
+    a: &Matrix<f64>,
+    p: usize,
+    model: CostModel,
+    rs_alg: ReduceScatterAlg,
+    tracing: bool,
+) -> (SyrkRunResult, Option<Vec<Timeline>>) {
     let (n1, n2) = a.shape();
     assert!(p >= 1, "need at least one rank");
     let cols = Partition1D::new(n2, p);
     let packed_len = Diag::Inclusive.packed_len(n1);
     let segments = Partition1D::new(packed_len, p);
 
-    let machine = Machine::new(p).with_model(model);
+    let mut machine = Machine::new(p).with_model(model);
+    if tracing {
+        machine = machine.with_tracing();
+    }
     // Split the hardware threads evenly across the simulated ranks so the
     // per-rank local SYRK doesn't oversubscribe the host.
     let _threads = limit_threads(machine_thread_budget(p));
@@ -50,11 +75,16 @@ pub fn syrk_1d_with(
         let l = comm.rank();
         // Line 2–3: local SYRK on the owned column block A_ℓ.
         let r = cols.range(l);
-        let a_l = a.block_owned(0, r.start, n1, r.len());
-        let cbar = syrk_packed_new(&a_l, Diag::Inclusive);
-        comm.add_flops(syrk_flops(n1, r.len()));
-        comm.note_buffer(a_l.len() + cbar.len());
+        let cbar = {
+            let _span = comm.phase(PHASE_LOCAL_SYRK);
+            let a_l = a.block_owned(0, r.start, n1, r.len());
+            let cbar = syrk_packed_new(&a_l, Diag::Inclusive);
+            comm.add_flops(syrk_flops(n1, r.len()));
+            comm.note_buffer(a_l.len() + cbar.len());
+            cbar
+        };
         // Line 4: Reduce-Scatter of the packed triangle, evenly split.
+        let _span = comm.phase(PHASE_REDUCE_SCATTER_C);
         let segs: Vec<Vec<f64>> = {
             let mut out = Vec::with_capacity(p);
             let mut off = 0;
@@ -74,7 +104,7 @@ pub fn syrk_1d_with(
         packed.extend_from_slice(seg);
     }
     let c = PackedLower::from_vec(n1, Diag::Inclusive, packed).to_full_symmetric();
-    SyrkRunResult { c, cost: out.cost }
+    (SyrkRunResult { c, cost: out.cost }, out.traces)
 }
 
 #[cfg(test)]

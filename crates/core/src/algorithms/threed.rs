@@ -10,10 +10,11 @@
 //! order.
 
 use syrk_dense::{limit_threads, machine_thread_budget, Diag, Matrix, PackedLower, Partition1D};
-use syrk_machine::{CostModel, Machine, ProcessGrid};
+use syrk_machine::{CostModel, Machine, ProcessGrid, Timeline};
 
 use super::common::{assemble_c, DiagBlock, LocalOutput, OffDiagBlock, SyrkRunResult};
 use super::twod::twod_body;
+use crate::attribution::PHASE_REDUCE_SCATTER_C;
 use crate::dist::{ConformalADist, TriangleBlockDist};
 
 /// The canonical flat layout of a rank's `C_k` data: its off-diagonal
@@ -138,6 +139,28 @@ impl CkLayout {
 ///
 /// Returns the assembled `C = A·Aᵀ` and the cost report.
 pub fn syrk_3d(a: &Matrix<f64>, c: usize, p2: usize, model: CostModel) -> SyrkRunResult {
+    syrk_3d_impl(a, c, p2, model, false).0
+}
+
+/// Algorithm 3 with event tracing enabled: returns the run result plus
+/// the per-rank communication timelines (see `syrk_machine::Event`).
+pub fn syrk_3d_traced(
+    a: &Matrix<f64>,
+    c: usize,
+    p2: usize,
+    model: CostModel,
+) -> (SyrkRunResult, Vec<Timeline>) {
+    let (run, traces) = syrk_3d_impl(a, c, p2, model, true);
+    (run, traces.expect("tracing was enabled"))
+}
+
+fn syrk_3d_impl(
+    a: &Matrix<f64>,
+    c: usize,
+    p2: usize,
+    model: CostModel,
+    tracing: bool,
+) -> (SyrkRunResult, Option<Vec<Timeline>>) {
     let dist = TriangleBlockDist::for_order(c).unwrap_or_else(|| {
         panic!("no triangle block construction for c = {c} (need a prime power)")
     });
@@ -147,13 +170,19 @@ pub fn syrk_3d(a: &Matrix<f64>, c: usize, p2: usize, model: CostModel) -> SyrkRu
     let cols = Partition1D::new(n2, p2);
     let grid = ProcessGrid::new(p1, p2);
 
-    let machine = Machine::new(p1 * p2).with_model(model);
+    let mut machine = Machine::new(p1 * p2).with_model(model);
+    if tracing {
+        machine = machine.with_tracing();
+    }
     // Split the hardware threads evenly across the simulated ranks so the
     // per-rank kernels don't oversubscribe the host.
     let _threads = limit_threads(machine_thread_budget(p1 * p2));
     let out = machine.run(|mut comm| {
         let gc = grid.split(&mut comm);
         // Line 3: run 2D SYRK within the slice on block column A_{*ℓ}.
+        // Phases (allgather-A, local-gemm, local-syrk) are pushed by the
+        // 2D body on the slice communicator; they land on this world
+        // rank's ledger because spans are per-rank, not per-communicator.
         let cr = cols.range(gc.l);
         let a_col = a.block_owned(0, cr.start, n1, cr.len());
         let ad = ConformalADist::new(&dist, n1, cr.len());
@@ -162,6 +191,7 @@ pub fn syrk_3d(a: &Matrix<f64>, c: usize, p2: usize, model: CostModel) -> SyrkRu
         // payloads are built straight from the block storage (no flat
         // concatenation) and handed to the segment-based collective, which
         // moves exactly the same words as the block interface.
+        let _span = comm.phase(PHASE_REDUCE_SCATTER_C);
         let layout = CkLayout::new(&dist, &rows, gc.k);
         let seg = Partition1D::new(layout.total, p2);
         let mine = gc.row.reduce_scatter(layout.segments(&local, &seg.lens()));
@@ -181,10 +211,13 @@ pub fn syrk_3d(a: &Matrix<f64>, c: usize, p2: usize, model: CostModel) -> SyrkRu
         outputs.push(CkLayout::new(&dist, &rows, k).assemble(&segs));
     }
     let c_full = assemble_c(n1, &rows, &outputs);
-    SyrkRunResult {
-        c: c_full,
-        cost: out.cost,
-    }
+    (
+        SyrkRunResult {
+            c: c_full,
+            cost: out.cost,
+        },
+        out.traces,
+    )
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ use syrk_dense::{
 use syrk_machine::{Comm, CostModel, Machine};
 
 use super::common::{assemble_c, DiagBlock, LocalOutput, OffDiagBlock, SyrkRunResult};
+use crate::attribution::{PHASE_ALLGATHER_A, PHASE_LOCAL_GEMM, PHASE_LOCAL_SYRK};
 use crate::dist::{ConformalADist, TriangleBlockDist};
 
 /// The SPMD body of Algorithm 2, reused verbatim by each slice of the 3D
@@ -60,6 +61,10 @@ pub(crate) fn twod_body_impl(
     // message in the pairwise algorithm, costing only latency; with
     // `padded`, every block is stretched to the fixed size like the
     // paper's B array, so even partnerless pairs ship pad_len words).
+    // The exchange-and-reassemble of A is the phase Theorem 1's Case-2
+    // `n1·n2/√P` term charges: semantically an all-gather of each row
+    // block within its processor set, realized as one all-to-all.
+    let ag_span = comm.phase(PHASE_ALLGATHER_A);
     let blocks: Vec<Vec<f64>> = (0..comm.size())
         .map(|k2| {
             if k2 == k {
@@ -103,6 +108,7 @@ pub(crate) fn twod_body_impl(
                 .map(|&i| ad.chunk_len(i, k))
                 .sum::<usize>(),
     );
+    drop(ag_span);
     let block_for = |i: usize| {
         &gathered
             .iter()
@@ -117,6 +123,7 @@ pub(crate) fn twod_body_impl(
     // algorithm's C_k layout depends on it. Flops are charged up front,
     // outside the worker closure, to keep the cost report deterministic.
     let mut out = LocalOutput::default();
+    let gemm_span = comm.phase(PHASE_LOCAL_GEMM);
     let blocks = dist.blocks_of(k);
     let costs: Vec<u64> = blocks
         .iter()
@@ -149,9 +156,11 @@ pub(crate) fn twod_body_impl(
             .into_iter()
             .map(|r| r.expect("every block computed")),
     );
+    drop(gemm_span);
 
     // Lines 18–20: the diagonal block, if assigned.
     if let Some(i) = dist.d_block(k) {
+        let _span = comm.phase(PHASE_LOCAL_SYRK);
         let ai = block_for(i);
         out.diag.push(DiagBlock {
             i,

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod algorithms;
+mod attribution;
 mod bounds;
 mod coverage;
 mod dist;
@@ -42,13 +43,19 @@ mod primes;
 
 pub use algorithms::{
     assemble_c, gemm_1d, gemm_2d, gemm_3d, scalapack_syrk_2d, symm_2d, symm_reference, syr2k_1d,
-    syr2k_2d, syrk_1d, syrk_1d_with, syrk_2d, syrk_2d_limited, syrk_2d_padded, syrk_2d_traced,
-    syrk_3d, DiagBlock, LocalOutput, OffDiagBlock, SymmRunResult, SyrkRunResult,
+    syr2k_2d, syrk_1d, syrk_1d_traced, syrk_1d_with, syrk_2d, syrk_2d_limited, syrk_2d_padded,
+    syrk_2d_traced, syrk_3d, syrk_3d_traced, DiagBlock, LocalOutput, OffDiagBlock, SymmRunResult,
+    SyrkRunResult,
+};
+pub use attribution::{
+    attribute_bounds, AttributionReport, TermAttribution, PHASE_ALLGATHER_A, PHASE_LOCAL_GEMM,
+    PHASE_LOCAL_SYRK, PHASE_REDUCE_SCATTER_C,
 };
 pub use bounds::{
-    alg1d_predicted_cost, alg2d_predicted_cost, alg2d_tight_cost, alg3d_leading_cost,
-    alg3d_predicted_cost, gemm_lower_bound, syrk_effective_bound, syrk_lower_bound,
-    syrk_memory_dependent_bound, BoundCase, SyrkBound,
+    alg1d_predicted_cost, alg2d_predicted_cost, alg2d_tight_cost, alg3d_a_term, alg3d_c_term,
+    alg3d_leading_a_term, alg3d_leading_c_term, alg3d_leading_cost, alg3d_predicted_cost,
+    gemm_lower_bound, syrk_effective_bound, syrk_lower_bound, syrk_memory_dependent_bound,
+    thm1_case1_c_term, thm1_case2_a_term, thm1_case2_c_term, BoundCase, SyrkBound,
 };
 pub use coverage::{footprint, Footprint, IterationOwner, OneDOwner, ThreeDOwner, TwoDOwner};
 pub use dist::{affine_plane_lines, match_diagonals, ConformalADist, Gf, TriangleBlockDist};

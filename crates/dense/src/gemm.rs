@@ -116,6 +116,7 @@ fn gemm_driver<T: Scalar>(
         let tasks = split_rows(c, &chunks);
         par_for_each_task(tasks, |_, (rows, cbuf)| {
             let mut apack = Vec::new();
+            let mut tiles = 0u64;
             for i0 in (rows.start..rows.end).step_by(MC) {
                 let ib = MC.min(rows.end - i0);
                 pack_rows(&mut apack, a, i0..i0 + ib, p0..p0 + pb, MR);
@@ -128,12 +129,14 @@ fn gemm_driver<T: Scalar>(
                             let cc = NR.min(jc_end - j0);
                             let bp = &bpack[panel_offset(j0, pb, NR)..];
                             let acc = microkernel(pb, ap, bp);
+                            tiles += 1;
                             let off = (i0 - rows.start + it) * n + j0;
                             store_add(&mut cbuf[off..], n, rr, cc, &acc);
                         }
                     }
                 }
             }
+            crate::stats::add_microkernel_calls(tiles);
         });
     }
 }

@@ -32,6 +32,7 @@ pub mod parallel;
 mod rng;
 mod scalar;
 pub mod schedule;
+pub mod stats;
 mod syr2k;
 mod syrk;
 mod view;
@@ -48,6 +49,7 @@ pub use parallel::{available_threads, limit_threads, machine_thread_budget, par_
 pub use rng::{seeded_int_matrix, seeded_matrix, DetRng};
 pub use scalar::Scalar;
 pub use schedule::{balanced_chunks_by_cost, balanced_triangle_chunks};
+pub use stats::{kernel_stats, reset_kernel_stats, KernelStats};
 pub use syr2k::{
     syr2k_flops, syr2k_full_reference, syr2k_lower_ref, syr2k_packed, syr2k_packed_new,
 };

@@ -62,6 +62,7 @@ pub fn pack_rows<T: Scalar>(
             }
         }
     }
+    crate::stats::add_pack_words(buf.len());
 }
 
 /// Pack columns `cols` of `b`, restricted to rows `rows` (the inner
@@ -89,6 +90,7 @@ pub fn pack_cols<T: Scalar>(
             dst[p * r..p * r + live].copy_from_slice(src);
         }
     }
+    crate::stats::add_pack_words(buf.len());
 }
 
 #[cfg(test)]

@@ -61,12 +61,12 @@ pub fn limit_threads(n: usize) -> ThreadBudgetGuard {
 }
 
 /// The per-rank kernel thread budget for a machine run with `p` ranks:
-/// hardware threads split evenly, at least one each.
+/// the caller's [`available_threads`] budget split evenly, at least one
+/// each. Deriving from `available_threads` (not raw hardware) lets an
+/// outer [`limit_threads`] guard cap a whole simulated run — e.g. pinning
+/// every rank to one kernel worker for reproducible timelines.
 pub fn machine_thread_budget(p: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    (hw / p.max(1)).max(1)
+    (available_threads() / p.max(1)).max(1)
 }
 
 /// Run `f(index, task)` for every task, on up to [`available_threads`]

@@ -1,0 +1,95 @@
+//! Lightweight process-wide counters for the packed kernel engine.
+//!
+//! The distributed algorithms meter *communication* through the machine's
+//! cost ledger; these counters meter the *local* engine underneath — how
+//! many words the packing routines staged into micro-panels and how many
+//! register-blocked microkernel tiles ran. The `trace` binary reports
+//! them next to the per-phase communication table so one run shows both
+//! sides of the α-β-γ model (network words and γ-side kernel work).
+//!
+//! Counters are relaxed atomics: kernels accumulate locally per task and
+//! flush once, so the hot loops see no contention. They are cumulative
+//! per process; call [`reset_kernel_stats`] before the region you want to
+//! measure and [`kernel_stats`] after.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PACK_WORDS: AtomicU64 = AtomicU64::new(0);
+static MICROKERNEL_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the kernel-engine counters (see [`kernel_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Words copied into packed micro-panel buffers (A- and B-side).
+    pub pack_words: u64,
+    /// Register-blocked `MR × NR` microkernel invocations.
+    pub microkernel_calls: u64,
+}
+
+impl KernelStats {
+    /// The counter deltas since an earlier snapshot (saturating, in case
+    /// another thread reset the counters in between).
+    pub fn since(&self, earlier: &KernelStats) -> KernelStats {
+        KernelStats {
+            pack_words: self.pack_words.saturating_sub(earlier.pack_words),
+            microkernel_calls: self
+                .microkernel_calls
+                .saturating_sub(earlier.microkernel_calls),
+        }
+    }
+}
+
+/// Snapshot the cumulative kernel-engine counters for this process.
+pub fn kernel_stats() -> KernelStats {
+    KernelStats {
+        pack_words: PACK_WORDS.load(Ordering::Relaxed),
+        microkernel_calls: MICROKERNEL_CALLS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the kernel-engine counters.
+pub fn reset_kernel_stats() {
+    PACK_WORDS.store(0, Ordering::Relaxed);
+    MICROKERNEL_CALLS.store(0, Ordering::Relaxed);
+}
+
+pub(crate) fn add_pack_words(n: usize) {
+    PACK_WORDS.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn add_microkernel_calls(n: u64) {
+    MICROKERNEL_CALLS.fetch_add(n, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        // Other tests in the same process also bump the counters, so only
+        // assert on deltas driven from here.
+        let before = kernel_stats();
+        add_pack_words(128);
+        add_microkernel_calls(3);
+        let after = kernel_stats();
+        let delta = after.since(&before);
+        assert!(delta.pack_words >= 128);
+        assert!(delta.microkernel_calls >= 3);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = KernelStats {
+            pack_words: 1,
+            microkernel_calls: 1,
+        };
+        let b = KernelStats {
+            pack_words: 5,
+            microkernel_calls: 5,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.pack_words, 0);
+        assert_eq!(d.microkernel_calls, 0);
+    }
+}

@@ -106,6 +106,7 @@ pub(crate) fn packed_rank_update<T: Scalar>(
         let tasks = split_triangle(c, &chunks);
         par_for_each_task(tasks, |_, (rows, cbuf)| {
             let base = row_off(diag, rows.start);
+            let mut tiles = 0u64;
             for it in (rows.start..rows.end).step_by(MR) {
                 let rr = MR.min(rows.end - it);
                 let colmax = row_end(diag, it + rr - 1);
@@ -122,8 +123,10 @@ pub(crate) fn packed_rank_update<T: Scalar>(
                             &bpack[panel_offset(it, pb, MR)..],
                             &apack[panel_offset(j0, pb, NR)..],
                         );
+                        tiles += 2;
                         acc_add(&ab, &ba)
                     } else {
+                        tiles += 1;
                         microkernel(
                             pb,
                             &apack[panel_offset(it, pb, MR)..],
@@ -147,6 +150,7 @@ pub(crate) fn packed_rank_update<T: Scalar>(
                     }
                 }
             }
+            crate::stats::add_microkernel_calls(tiles);
         });
     }
 }

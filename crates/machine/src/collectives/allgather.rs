@@ -10,6 +10,7 @@ impl Comm {
     /// `(P − 1)·|mine|` words sent per rank, which is bandwidth-optimal
     /// (`(1 − 1/P)·W` with `W = P·|mine|` the gathered size).
     pub fn all_gather(&self, mine: Vec<f64>) -> Vec<Vec<f64>> {
+        let _span = self.collective_phase("coll:all-gather");
         let p = self.size();
         let me = self.rank();
         self.note_buffer(mine.len() * p);

@@ -7,6 +7,7 @@ impl Comm {
     /// Element-wise sum of every rank's `data`, delivered to every rank.
     /// All ranks must pass equal-length buffers.
     pub fn all_reduce(&self, data: &[f64]) -> Vec<f64> {
+        let _span = self.collective_phase("coll:all-reduce");
         let p = self.size();
         if p == 1 {
             return data.to_vec();

@@ -28,6 +28,7 @@ impl Comm {
 
     /// All-to-all with an explicit algorithm choice.
     pub fn all_to_all_with(&self, blocks: Vec<Vec<f64>>, alg: CollectiveAlg) -> Vec<Vec<f64>> {
+        let _span = self.collective_phase("coll:all-to-all");
         let p = self.size();
         assert_eq!(blocks.len(), p, "all_to_all needs one block per rank");
         self.note_buffer(blocks.iter().map(Vec::len).sum());

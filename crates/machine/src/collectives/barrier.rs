@@ -8,6 +8,7 @@ impl Comm {
     /// entered. Dissemination algorithm: `⌈log₂ P⌉` rounds of zero-word
     /// exchanges, so only latency is charged.
     pub fn barrier(&self) {
+        let _span = self.collective_phase("coll:barrier");
         let p = self.size();
         let me = self.rank();
         let mut k = 1usize;

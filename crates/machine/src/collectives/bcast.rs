@@ -10,6 +10,7 @@ impl Comm {
     ///
     /// Only `root` needs to supply `Some(data)`; other ranks pass `None`.
     pub fn broadcast(&self, root: usize, data: Option<Vec<f64>>) -> Vec<f64> {
+        let _span = self.collective_phase("coll:bcast");
         let p = self.size();
         let me = self.rank();
         assert!(root < p, "broadcast root {root} out of range");

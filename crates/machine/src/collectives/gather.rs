@@ -8,6 +8,7 @@ impl Comm {
     /// root (indexed by rank) and `None` elsewhere. Blocks may differ in
     /// size. Direct algorithm: the root receives `P − 1` messages.
     pub fn gather(&self, root: usize, mine: Vec<f64>) -> Option<Vec<Vec<f64>>> {
+        let _span = self.collective_phase("coll:gather");
         let p = self.size();
         let me = self.rank();
         assert!(root < p, "gather root {root} out of range");
@@ -27,6 +28,7 @@ impl Comm {
     /// Scatter `blocks[q]` from `root` to each rank `q`. Only the root
     /// supplies `Some(blocks)`. Returns this rank's block.
     pub fn scatter(&self, root: usize, blocks: Option<Vec<Vec<f64>>>) -> Vec<f64> {
+        let _span = self.collective_phase("coll:scatter");
         let p = self.size();
         let me = self.rank();
         assert!(root < p, "scatter root {root} out of range");

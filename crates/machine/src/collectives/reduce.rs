@@ -8,6 +8,7 @@ impl Comm {
     /// Binomial tree: `⌈log₂ P⌉` rounds; returns `Some(sum)` on the root
     /// and `None` elsewhere. All ranks must pass equal-length buffers.
     pub fn reduce(&self, root: usize, data: &[f64]) -> Option<Vec<f64>> {
+        let _span = self.collective_phase("coll:reduce");
         let p = self.size();
         let me = self.rank();
         assert!(root < p, "reduce root {root} out of range");

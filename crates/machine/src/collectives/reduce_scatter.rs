@@ -48,6 +48,7 @@ impl Comm {
     /// assert!(out.results.iter().all(|&x| x == 4.0));
     /// ```
     pub fn reduce_scatter(&self, mut segments: Vec<Vec<f64>>) -> Vec<f64> {
+        let _span = self.collective_phase("coll:reduce-scatter");
         let p = self.size();
         let me = self.rank();
         assert_eq!(
@@ -77,6 +78,7 @@ impl Comm {
 
     /// Reduce-scatter with an explicit algorithm choice.
     pub fn reduce_scatter_with(&self, segments: Vec<Vec<f64>>, alg: ReduceScatterAlg) -> Vec<f64> {
+        let _span = self.collective_phase("coll:reduce-scatter");
         match alg {
             ReduceScatterAlg::PairwiseExchange => self.reduce_scatter(segments),
             ReduceScatterAlg::RecursiveHalving => {

@@ -10,7 +10,7 @@ use crate::sync::{
     Mutex,
 };
 
-use crate::cost::{CostModel, RankCost};
+use crate::cost::{CostModel, RankCost, RankLedger};
 use crate::envelope::{Envelope, Payload};
 use crate::trace::{Event, EventKind, Timeline};
 
@@ -75,7 +75,7 @@ pub(crate) struct World {
     pub size: usize,
     pub model: CostModel,
     pub senders: Vec<Sender<Envelope>>,
-    pub costs: Vec<Mutex<RankCost>>,
+    pub costs: Vec<Mutex<RankLedger>>,
     pub timeout: Duration,
     /// Set when any rank panics so blocked receives abort promptly.
     pub poisoned: AtomicBool,
@@ -147,19 +147,25 @@ impl Comm {
         self.world.model
     }
 
-    fn with_cost<R>(&self, f: impl FnOnce(&mut RankCost, &CostModel) -> R) -> R {
+    fn with_ledger<R>(&self, f: impl FnOnce(&mut RankLedger) -> R) -> R {
         let mut guard = self.world.costs[self.world_rank()].lock();
-        f(&mut guard, &self.world.model)
+        f(&mut guard)
+    }
+
+    fn with_cost<R>(&self, f: impl FnOnce(&mut RankCost, &CostModel) -> R) -> R {
+        let model = self.world.model;
+        self.with_ledger(|l| l.apply(&model, f))
     }
 
     fn trace(&self, kind: EventKind, peer: usize, amount: u64) {
         if let Some(traces) = &self.world.traces {
-            let clock = self.with_cost(|c, _| c.clock);
+            let (clock, phase) = self.with_ledger(|l| (l.total.clock, l.active_phase()));
             traces[self.world_rank()].lock().push(Event {
                 kind,
                 peer,
                 amount,
                 clock,
+                phase,
             });
         }
     }
@@ -172,12 +178,59 @@ impl Comm {
 
     /// Record `w` words of transient buffer space (memory footprint probe).
     pub fn note_buffer(&self, w: usize) {
-        self.with_cost(|c, _| c.on_buffer(w));
+        self.with_ledger(|l| l.note_buffer(w));
     }
 
     /// Current cost counters of this rank (snapshot).
     pub fn my_cost(&self) -> RankCost {
-        self.with_cost(|c, _| c.clone())
+        self.with_ledger(|l| l.total.clone())
+    }
+
+    /// Open a named phase on this *rank*: until the matching
+    /// [`pop_phase`](Comm::pop_phase), every cost delta and traced event
+    /// charged by this rank — on this communicator or any communicator
+    /// derived from the same world — is attributed to `name`. Phases nest;
+    /// deltas go to the innermost one. Prefer the RAII form
+    /// [`Comm::phase`].
+    pub fn push_phase(&self, name: &'static str) {
+        self.with_ledger(|l| l.push(name));
+    }
+
+    /// Close the innermost phase opened by [`push_phase`](Comm::push_phase).
+    ///
+    /// Panics if no phase is open (unbalanced pop).
+    pub fn pop_phase(&self) {
+        self.with_ledger(|l| l.pop());
+    }
+
+    /// Open phase `name` for the lifetime of the returned guard.
+    ///
+    /// ```
+    /// # use syrk_machine::Machine;
+    /// # Machine::new(1).run(|comm| {
+    /// let _span = comm.phase("local-syrk");
+    /// comm.add_flops(100); // attributed to "local-syrk"
+    /// # });
+    /// ```
+    pub fn phase(&self, name: &'static str) -> PhaseScope<'_> {
+        self.push_phase(name);
+        PhaseScope { comm: self }
+    }
+
+    /// The innermost phase currently open on this rank, if any.
+    pub fn current_phase(&self) -> Option<&'static str> {
+        self.with_ledger(|l| l.active_phase())
+    }
+
+    /// Collectives call this to self-report under a `coll:*` name when the
+    /// caller has not opened a phase of its own; inside a user phase the
+    /// guard is `None` and the user's attribution stands.
+    pub(crate) fn collective_phase(&self, name: &'static str) -> Option<PhaseScope<'_>> {
+        if self.with_ledger(|l| l.is_idle()) {
+            Some(self.phase(name))
+        } else {
+            None
+        }
     }
 
     fn push_to(&self, dst_world: usize, env: Envelope) {
@@ -359,8 +412,21 @@ impl Comm {
     }
 }
 
+/// RAII guard for a phase opened with [`Comm::phase`]; pops on drop.
+#[must_use = "the phase pops when the guard drops"]
+pub struct PhaseScope<'a> {
+    comm: &'a Comm,
+}
+
+impl Drop for PhaseScope<'_> {
+    fn drop(&mut self) {
+        self.comm.pop_phase();
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use crate::cost::UNTAGGED_PHASE;
     use crate::machine::Machine;
 
     #[test]
@@ -453,6 +519,60 @@ mod tests {
         });
         assert_eq!(out.cost.total_flops(), 60);
         assert_eq!(out.cost.max_flops(), 30);
+    }
+
+    #[test]
+    fn phases_attribute_deltas_and_events() {
+        let out = Machine::new(2).with_tracing().run(|comm| {
+            let partner = 1 - comm.rank();
+            {
+                let _span = comm.phase("ring");
+                comm.send(partner, 1, vec![1.0f64; 4]);
+                let _: Vec<f64> = comm.recv(partner, 1);
+            }
+            assert_eq!(comm.current_phase(), None);
+            comm.add_flops(50);
+        });
+        for r in 0..2 {
+            let ring = out.cost.phase_cost(r, "ring").unwrap();
+            assert_eq!(ring.words_sent, 4);
+            assert_eq!(ring.words_recv, 4);
+            assert_eq!(ring.flops, 0);
+            let untagged = out.cost.phase_cost(r, UNTAGGED_PHASE).unwrap();
+            assert_eq!(untagged.flops, 50);
+            assert_eq!(untagged.words_sent, 0);
+        }
+        // Events carry the phase active when they were recorded.
+        let traces = out.traces.unwrap();
+        for t in &traces {
+            assert!(t
+                .iter()
+                .all(|e| (e.kind == crate::trace::EventKind::Flops) == (e.phase.is_none())));
+        }
+        assert_eq!(out.cost.phase_max_words_sent("ring"), 4);
+    }
+
+    #[test]
+    fn phases_survive_split() {
+        let out = Machine::new(4).run(|comm| {
+            let mut comm = comm;
+            comm.push_phase("sub");
+            let sub = comm.split((comm.rank() % 2) as u64, comm.rank());
+            let partner = 1 - sub.rank();
+            sub.send(partner, 5, vec![0.0f64; 3]);
+            let _: Vec<f64> = sub.recv(partner, 5);
+            comm.pop_phase();
+        });
+        for r in 0..4 {
+            let c = out.cost.phase_cost(r, "sub").unwrap();
+            assert_eq!(c.words_sent, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pop_phase without a matching push_phase")]
+    fn unbalanced_pop_panics() {
+        Machine::new(1).run(|comm| comm.pop_phase());
     }
 
     #[test]

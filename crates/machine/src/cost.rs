@@ -12,6 +12,16 @@
 //! communication event; on a receive it is joined (`max`) with the sender's
 //! clock at send time, so the final per-rank clock is a valid critical-path
 //! time for the run.
+//!
+//! On top of the machine-wide totals, every rank keeps a **per-phase
+//! breakdown**: algorithms name their phases through the span API on
+//! [`Comm`](crate::Comm) (`push_phase` / `phase`), and every cost delta is
+//! attributed to the innermost active phase (or [`UNTAGGED_PHASE`] when
+//! none is active). Theorem 1's bounds decompose into per-array, per-phase
+//! terms — e.g. the 2D algorithm's `n1·n2/√P` allgather-of-A term vs. the
+//! 1D algorithm's `n1(n1−1)/2` output-reduction term — and the breakdown
+//! (surfaced by [`CostReport::phase_table`]) is what lets a measured run
+//! be compared against those terms one by one.
 
 use std::fmt;
 
@@ -128,6 +138,116 @@ impl RankCost {
     }
 }
 
+/// Name under which cost deltas are recorded while no phase is active.
+pub const UNTAGGED_PHASE: &str = "(untagged)";
+
+/// One named phase's accumulated costs on one rank.
+///
+/// `cost.clock` holds the model-time *spent inside* the phase (a duration,
+/// not an absolute timestamp); `cost.peak_buffer_words` is the largest
+/// buffer noted while the phase was innermost-active. All other fields are
+/// plain counter deltas, so summing a rank's phases reproduces its totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseCost {
+    /// Phase name (the static string passed to `Comm::push_phase`), or
+    /// [`UNTAGGED_PHASE`].
+    pub name: &'static str,
+    /// Counters accumulated while this phase was the innermost span.
+    pub cost: RankCost,
+}
+
+/// Per-rank cost ledger: machine-wide totals plus the phase stack and the
+/// per-phase breakdown. One ledger per *world* rank, shared by every
+/// sub-communicator of that rank, so spans survive `Comm::split`.
+#[derive(Debug, Default)]
+pub(crate) struct RankLedger {
+    pub(crate) total: RankCost,
+    stack: Vec<&'static str>,
+    phases: Vec<PhaseCost>,
+}
+
+impl RankLedger {
+    /// The innermost active phase, if any.
+    pub(crate) fn active_phase(&self) -> Option<&'static str> {
+        self.stack.last().copied()
+    }
+
+    /// Whether no phase is active (used by collectives to self-report).
+    pub(crate) fn is_idle(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    pub(crate) fn push(&mut self, name: &'static str) {
+        self.stack.push(name);
+    }
+
+    pub(crate) fn pop(&mut self) {
+        self.stack
+            .pop()
+            .expect("pop_phase without a matching push_phase");
+    }
+
+    fn entry(&mut self, name: &'static str) -> &mut RankCost {
+        if let Some(pos) = self.phases.iter().position(|p| p.name == name) {
+            return &mut self.phases[pos].cost;
+        }
+        self.phases.push(PhaseCost {
+            name,
+            cost: RankCost::default(),
+        });
+        &mut self.phases.last_mut().unwrap().cost
+    }
+
+    /// Apply a cost mutation to the totals and attribute the delta to the
+    /// innermost active phase (or [`UNTAGGED_PHASE`]). Pure reads (no
+    /// counter or clock change) leave the breakdown untouched.
+    pub(crate) fn apply<R>(
+        &mut self,
+        model: &CostModel,
+        f: impl FnOnce(&mut RankCost, &CostModel) -> R,
+    ) -> R {
+        let before = self.total.clone();
+        let r = f(&mut self.total, model);
+        let t = self.total.clone();
+        let d_clock = t.clock - before.clock;
+        let peak_up = t.peak_buffer_words > before.peak_buffer_words;
+        if t.msgs_sent != before.msgs_sent
+            || t.msgs_recv != before.msgs_recv
+            || t.words_sent != before.words_sent
+            || t.words_recv != before.words_recv
+            || t.flops != before.flops
+            || d_clock != 0.0
+            || peak_up
+        {
+            let name = self.active_phase().unwrap_or(UNTAGGED_PHASE);
+            let e = self.entry(name);
+            e.msgs_sent += t.msgs_sent - before.msgs_sent;
+            e.msgs_recv += t.msgs_recv - before.msgs_recv;
+            e.words_sent += t.words_sent - before.words_sent;
+            e.words_recv += t.words_recv - before.words_recv;
+            e.flops += t.flops - before.flops;
+            e.clock += d_clock;
+            if peak_up {
+                e.peak_buffer_words = e.peak_buffer_words.max(t.peak_buffer_words);
+            }
+        }
+        r
+    }
+
+    /// Record a buffer high-water probe both globally and in the active
+    /// phase (phases record the largest buffer noted *while active*, even
+    /// when the global high-water mark does not move).
+    pub(crate) fn note_buffer(&mut self, w: usize) {
+        self.total.on_buffer(w);
+        let name = self.active_phase().unwrap_or(UNTAGGED_PHASE);
+        self.entry(name).on_buffer(w);
+    }
+
+    pub(crate) fn into_parts(self) -> (RankCost, Vec<PhaseCost>) {
+        (self.total, self.phases)
+    }
+}
+
 /// Aggregated cost report for a full run of the machine.
 #[derive(Debug, Clone)]
 pub struct CostReport {
@@ -135,9 +255,33 @@ pub struct CostReport {
     pub model: CostModel,
     /// Per-rank cost rows, indexed by world rank.
     pub ranks: Vec<RankCost>,
+    /// Per-rank, per-phase breakdown (phases in first-use order per rank).
+    /// For every rank the field-wise sum of its phases equals its entry in
+    /// `ranks` (exactly for the integer counters; up to rounding for the
+    /// clock).
+    pub phases: Vec<Vec<PhaseCost>>,
 }
 
 impl CostReport {
+    /// Build a report with every rank's whole cost attributed to the
+    /// untagged phase (useful for tests and synthetic reports).
+    pub fn untagged(model: CostModel, ranks: Vec<RankCost>) -> Self {
+        let phases = ranks
+            .iter()
+            .map(|r| {
+                vec![PhaseCost {
+                    name: UNTAGGED_PHASE,
+                    cost: r.clone(),
+                }]
+            })
+            .collect();
+        CostReport {
+            model,
+            ranks,
+            phases,
+        }
+    }
+
     /// Number of ranks in the run.
     pub fn num_ranks(&self) -> usize {
         self.ranks.len()
@@ -212,25 +356,154 @@ impl CostReport {
             .max()
             .unwrap_or(0)
     }
+
+    /// All phase names seen in the run, in first-use order (rank 0's
+    /// phases first, then any additional names from later ranks).
+    pub fn phase_names(&self) -> Vec<&'static str> {
+        let mut names = Vec::new();
+        for rank in &self.phases {
+            for p in rank {
+                if !names.contains(&p.name) {
+                    names.push(p.name);
+                }
+            }
+        }
+        names
+    }
+
+    /// The accumulated cost of phase `name` on `rank`, if that rank ever
+    /// charged anything under it.
+    pub fn phase_cost(&self, rank: usize, name: &str) -> Option<&RankCost> {
+        self.phases
+            .get(rank)?
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| &p.cost)
+    }
+
+    /// `max_p words_sent(p)` restricted to one phase — the per-term analog
+    /// of [`CostReport::max_words_sent`] used by the bound attribution.
+    pub fn phase_max_words_sent(&self, name: &str) -> u64 {
+        self.phases
+            .iter()
+            .flat_map(|rank| rank.iter().filter(|p| p.name == name))
+            .map(|p| p.cost.words_sent)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Aggregate the per-rank breakdown into one row per phase.
+    pub fn phase_table(&self) -> PhaseTable {
+        let p = self.num_ranks().max(1);
+        let rows = self
+            .phase_names()
+            .into_iter()
+            .map(|name| {
+                let per_rank: Vec<&RankCost> = (0..self.num_ranks())
+                    .filter_map(|r| self.phase_cost(r, name))
+                    .collect();
+                let max_words_sent = per_rank.iter().map(|c| c.words_sent).max().unwrap_or(0);
+                let total_words: u64 = per_rank.iter().map(|c| c.words_sent).sum();
+                let words_imbalance = if total_words == 0 {
+                    1.0
+                } else {
+                    max_words_sent as f64 / (total_words as f64 / p as f64)
+                };
+                PhaseRow {
+                    name,
+                    max_words_sent,
+                    total_words,
+                    max_msgs: per_rank.iter().map(|c| c.msgs_sent).max().unwrap_or(0),
+                    total_flops: per_rank.iter().map(|c| c.flops).sum(),
+                    max_flops: per_rank.iter().map(|c| c.flops).max().unwrap_or(0),
+                    max_clock: per_rank.iter().map(|c| c.clock).fold(0.0, f64::max),
+                    words_imbalance,
+                }
+            })
+            .collect();
+        PhaseTable { rows }
+    }
+}
+
+/// One aggregated row of a [`PhaseTable`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRow {
+    /// Phase name.
+    pub name: &'static str,
+    /// `max_p words_sent(p)` within this phase — the quantity compared
+    /// against the phase's analytic bound term.
+    pub max_words_sent: u64,
+    /// Total words sent by all ranks within this phase.
+    pub total_words: u64,
+    /// `max_p msgs_sent(p)` within this phase.
+    pub max_msgs: u64,
+    /// Total flops across ranks within this phase.
+    pub total_flops: u64,
+    /// `max_p flops(p)` within this phase.
+    pub max_flops: u64,
+    /// Largest model-time any rank spent inside this phase.
+    pub max_clock: f64,
+    /// `max_p words_sent(p) / (total_words / P)`; 1.0 when no words moved.
+    pub words_imbalance: f64,
+}
+
+/// A per-phase cost breakdown aggregated over ranks, one row per phase in
+/// first-use order. Renders as an aligned text table via `Display`.
+#[derive(Debug, Clone)]
+pub struct PhaseTable {
+    /// One aggregated row per phase.
+    pub rows: Vec<PhaseRow>,
+}
+
+impl PhaseTable {
+    /// The row for phase `name`, if present.
+    pub fn row(&self, name: &str) -> Option<&PhaseRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+}
+
+impl fmt::Display for PhaseTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "  {:<20} {:>12} {:>12} {:>8} {:>14} {:>10} {:>9}",
+            "phase", "max words", "tot words", "max msg", "tot flops", "max clock", "imbal"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<20} {:>12} {:>12} {:>8} {:>14} {:>10.3e} {:>9.3}",
+                r.name,
+                r.max_words_sent,
+                r.total_words,
+                r.max_msgs,
+                r.total_flops,
+                r.max_clock,
+                r.words_imbalance,
+            )?;
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for CostReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "CostReport: P={} max_words_sent={} max_msgs={} total_flops={} imbalance={:.3} elapsed={:.3e}",
+            "CostReport: P={} max_words_sent={} max_msgs={} total_flops={} imbalance={:.3} max_peak_buffer={} elapsed={:.3e}",
             self.num_ranks(),
             self.max_words_sent(),
             self.max_messages(),
             self.total_flops(),
             self.flop_imbalance(),
+            self.max_peak_buffer(),
             self.elapsed(),
         )?;
         for (p, r) in self.ranks.iter().enumerate() {
             writeln!(
                 f,
-                "  rank {p:>3}: sent {:>10} w / {:>6} msg, recv {:>10} w / {:>6} msg, flops {:>12}, clock {:.3e}",
-                r.words_sent, r.msgs_sent, r.words_recv, r.msgs_recv, r.flops, r.clock
+                "  rank {p:>3}: sent {:>10} w / {:>6} msg, recv {:>10} w / {:>6} msg, flops {:>12}, peak {:>8} w, clock {:.3e}",
+                r.words_sent, r.msgs_sent, r.words_recv, r.msgs_recv, r.flops, r.peak_buffer_words, r.clock
             )?;
         }
         Ok(())
@@ -305,10 +578,7 @@ mod tests {
         a.on_send(10, &model);
         b.on_send(4, &model);
         b.on_flops(100, &model);
-        let rep = CostReport {
-            model,
-            ranks: vec![a, b],
-        };
+        let rep = CostReport::untagged(model, vec![a, b]);
         assert_eq!(rep.max_words_sent(), 10);
         assert_eq!(rep.total_words(), 14);
         assert_eq!(rep.total_flops(), 100);
@@ -319,13 +589,12 @@ mod tests {
 
     #[test]
     fn empty_report_is_safe() {
-        let rep = CostReport {
-            model: CostModel::default(),
-            ranks: vec![],
-        };
+        let rep = CostReport::untagged(CostModel::default(), vec![]);
         assert_eq!(rep.max_words_sent(), 0);
         assert_eq!(rep.elapsed(), 0.0);
         assert_eq!(rep.flop_imbalance(), 1.0);
+        assert!(rep.phase_names().is_empty());
+        assert!(rep.phase_table().rows.is_empty());
     }
 
     #[test]
@@ -336,5 +605,120 @@ mod tests {
         assert_eq!(c.peak_buffer_words, 10);
         c.on_buffer(20);
         assert_eq!(c.peak_buffer_words, 20);
+    }
+
+    #[test]
+    fn ledger_attributes_to_innermost_phase() {
+        let model = CostModel::bandwidth_only();
+        let mut l = RankLedger::default();
+        l.apply(&model, |c, m| c.on_send(5, m)); // untagged
+        l.push("outer");
+        l.apply(&model, |c, m| c.on_send(10, m));
+        l.push("inner");
+        l.apply(&model, |c, m| c.on_flops(7, m));
+        l.pop();
+        l.apply(&model, |c, m| c.on_send(1, m)); // outer again
+        l.pop();
+        let (total, phases) = l.into_parts();
+        assert_eq!(total.words_sent, 16);
+        assert_eq!(total.flops, 7);
+        let by_name: Vec<(&str, u64, u64)> = phases
+            .iter()
+            .map(|p| (p.name, p.cost.words_sent, p.cost.flops))
+            .collect();
+        assert_eq!(
+            by_name,
+            vec![(UNTAGGED_PHASE, 5, 0), ("outer", 11, 0), ("inner", 0, 7),]
+        );
+        // Phase sums reproduce the totals.
+        let sum_words: u64 = phases.iter().map(|p| p.cost.words_sent).sum();
+        assert_eq!(sum_words, total.words_sent);
+    }
+
+    #[test]
+    fn ledger_ignores_pure_reads() {
+        let model = CostModel::bandwidth_only();
+        let mut l = RankLedger::default();
+        let clock = l.apply(&model, |c, _| c.clock);
+        assert_eq!(clock, 0.0);
+        let (_, phases) = l.into_parts();
+        assert!(phases.is_empty(), "a read must not open a phase entry");
+    }
+
+    #[test]
+    fn ledger_notes_buffer_per_phase() {
+        let mut l = RankLedger::default();
+        l.note_buffer(100);
+        l.push("a");
+        // Smaller than the global high-water mark, but the phase still
+        // records its own largest probe.
+        l.note_buffer(40);
+        l.pop();
+        let (total, phases) = l.into_parts();
+        assert_eq!(total.peak_buffer_words, 100);
+        assert_eq!(phases[0].name, UNTAGGED_PHASE);
+        assert_eq!(phases[0].cost.peak_buffer_words, 100);
+        assert_eq!(phases[1].name, "a");
+        assert_eq!(phases[1].cost.peak_buffer_words, 40);
+    }
+
+    #[test]
+    fn phase_table_aggregates_across_ranks() {
+        let model = CostModel::bandwidth_only();
+        let mk = |w: u64, f: u64| RankCost {
+            words_sent: w,
+            flops: f,
+            ..Default::default()
+        };
+        let rep = CostReport {
+            model,
+            ranks: vec![mk(30, 10), mk(10, 10)],
+            phases: vec![
+                vec![
+                    PhaseCost {
+                        name: "comm",
+                        cost: mk(30, 0),
+                    },
+                    PhaseCost {
+                        name: "compute",
+                        cost: mk(0, 10),
+                    },
+                ],
+                vec![
+                    PhaseCost {
+                        name: "comm",
+                        cost: mk(10, 0),
+                    },
+                    PhaseCost {
+                        name: "compute",
+                        cost: mk(0, 10),
+                    },
+                ],
+            ],
+        };
+        assert_eq!(rep.phase_names(), vec!["comm", "compute"]);
+        assert_eq!(rep.phase_max_words_sent("comm"), 30);
+        let table = rep.phase_table();
+        let comm = table.row("comm").unwrap();
+        assert_eq!(comm.max_words_sent, 30);
+        assert_eq!(comm.total_words, 40);
+        assert!((comm.words_imbalance - 1.5).abs() < 1e-12);
+        let compute = table.row("compute").unwrap();
+        assert_eq!(compute.total_flops, 20);
+        assert_eq!(compute.words_imbalance, 1.0);
+        // Table renders without panicking and mentions every phase.
+        let text = table.to_string();
+        assert!(text.contains("comm") && text.contains("compute"));
+    }
+
+    #[test]
+    fn display_includes_peak_buffer() {
+        let model = CostModel::bandwidth_only();
+        let mut a = RankCost::default();
+        a.on_buffer(123);
+        let rep = CostReport::untagged(model, vec![a]);
+        let text = rep.to_string();
+        assert!(text.contains("max_peak_buffer=123"), "{text}");
+        assert!(text.contains("peak      123 w"), "{text}");
     }
 }

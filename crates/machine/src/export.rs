@@ -1,0 +1,188 @@
+//! Timeline exporters: render per-rank [`Timeline`]s for external viewers.
+//!
+//! [`chrome_trace_json`] emits the Chrome trace-event format (the JSON
+//! array-of-events dialect understood by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev)). Each simulated rank becomes one
+//! thread row; each traced event becomes a complete (`"ph": "X"`) slice
+//! whose start is the rank's α-β-γ clock *before* the event and whose
+//! duration is the clock advance the event caused — so waiting on a
+//! slower peer shows up as a wide `Recv`/`Exchange` slice, exactly the
+//! critical-path structure the cost model charges. Model time is scaled
+//! by 10⁶ (the format's timestamps are in microseconds, so one model
+//! time-unit renders as one second).
+//!
+//! [`timelines_csv`] is the flat CSV dump the `trace` binary has always
+//! produced, kept alongside the JSON for grep/spreadsheet workflows.
+
+use crate::trace::{Event, EventKind, Timeline};
+use std::fmt::Write as _;
+
+/// Scale from model time to trace-event microseconds.
+const TS_SCALE: f64 = 1e6;
+
+fn kind_label(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::Send => "send",
+        EventKind::Recv => "recv",
+        EventKind::Exchange => "exchange",
+        EventKind::Flops => "flops",
+    }
+}
+
+/// Minimal JSON string escaping (the strings here are phase names and
+/// labels, but escape control characters anyway to keep the output valid
+/// for arbitrary names).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_event(out: &mut String, e: &Event, rank: usize, prev_clock: f64) {
+    let name = e.phase.unwrap_or_else(|| kind_label(e.kind));
+    let ts = prev_clock * TS_SCALE;
+    let dur = ((e.clock - prev_clock) * TS_SCALE).max(0.0);
+    let peer = if e.peer == usize::MAX {
+        "null".to_string()
+    } else {
+        e.peer.to_string()
+    };
+    let phase = match e.phase {
+        Some(p) => format!("\"{}\"", escape(p)),
+        None => "null".to_string(),
+    };
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{},\
+         \"args\":{{\"amount\":{},\"peer\":{},\"phase\":{}}}}}",
+        escape(name),
+        kind_label(e.kind),
+        ts,
+        dur,
+        rank,
+        e.amount,
+        peer,
+        phase,
+    );
+}
+
+/// Render per-rank timelines as a Chrome trace-event JSON document
+/// (an object with a `traceEvents` array, loadable in Perfetto).
+///
+/// Per rank the document contains one `thread_name` metadata record plus
+/// one complete event per traced [`Event`]; within a rank, `ts` values are
+/// non-decreasing because the α-β-γ clock is monotone.
+pub fn chrome_trace_json(traces: &[Timeline]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for (rank, timeline) in traces.iter().enumerate() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\
+             \"args\":{{\"name\":\"rank {rank}\"}}}}"
+        );
+        let mut prev = 0.0f64;
+        for e in timeline {
+            out.push(',');
+            push_event(&mut out, e, rank, prev);
+            prev = prev.max(e.clock);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render per-rank timelines as CSV with a header row
+/// (`rank,kind,peer,amount,clock,phase`).
+pub fn timelines_csv(traces: &[Timeline]) -> String {
+    let mut out = String::from("rank,kind,peer,amount,clock,phase\n");
+    for (rank, timeline) in traces.iter().enumerate() {
+        for e in timeline {
+            let _ = writeln!(out, "{rank},{}", e.to_csv_row());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, clock: f64, phase: Option<&'static str>) -> Event {
+        Event {
+            kind,
+            peer: if kind == EventKind::Flops {
+                usize::MAX
+            } else {
+                1
+            },
+            amount: 8,
+            clock,
+            phase,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_and_slices() {
+        let traces = vec![
+            vec![
+                ev(EventKind::Send, 8.0, Some("allgather-A")),
+                ev(EventKind::Flops, 10.0, None),
+            ],
+            vec![ev(EventKind::Recv, 8.0, None)],
+        ];
+        let json = chrome_trace_json(&traces);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"rank 0\"") && json.contains("\"rank 1\""));
+        assert!(json.contains("\"allgather-A\""));
+        // Unphased events fall back to the kind label.
+        assert!(json.contains("\"name\":\"flops\""));
+        // Slice for the second rank-0 event starts at the first's clock.
+        assert!(json.contains("\"ts\":8000000.000,\"dur\":2000000.000"));
+        // flops events carry a null peer.
+        assert!(json.contains("\"peer\":null"));
+    }
+
+    #[test]
+    fn empty_timelines_are_valid() {
+        let json = chrome_trace_json(&[]);
+        assert_eq!(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+        let json = chrome_trace_json(&[vec![]]);
+        assert!(json.contains("thread_name"));
+    }
+
+    #[test]
+    fn csv_includes_header_and_rank_column() {
+        let traces = vec![vec![ev(EventKind::Send, 8.0, Some("p"))], vec![]];
+        let csv = timelines_csv(&traces);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("rank,kind,peer,amount,clock,phase"));
+        assert_eq!(lines.next(), Some("0,Send,1,8,8.000000e0,p"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -39,15 +39,17 @@ mod collectives;
 mod comm;
 mod cost;
 mod envelope;
+pub mod export;
 mod machine;
 mod sync;
 mod topology;
 mod trace;
 
 pub use collectives::{CollectiveAlg, ReduceScatterAlg};
-pub use comm::Comm;
-pub use cost::{CostModel, CostReport, RankCost};
+pub use comm::{Comm, PhaseScope};
+pub use cost::{CostModel, CostReport, PhaseCost, PhaseRow, PhaseTable, RankCost, UNTAGGED_PHASE};
 pub use envelope::Payload;
+pub use export::{chrome_trace_json, timelines_csv};
 pub use machine::{Machine, RunOutput};
 pub use topology::{GridComms, ProcessGrid};
 pub use trace::{Event, EventKind, Timeline};

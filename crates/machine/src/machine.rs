@@ -9,7 +9,7 @@ use std::time::Duration;
 use crate::sync::{channel::unbounded, Mutex};
 
 use crate::comm::{Comm, World};
-use crate::cost::{CostModel, CostReport, RankCost};
+use crate::cost::{CostModel, CostReport, RankLedger};
 
 /// Output of one machine run: the per-rank results of the SPMD closure and
 /// the aggregated communication/computation cost report.
@@ -104,7 +104,7 @@ impl Machine {
             size: p,
             model: self.model,
             senders,
-            costs: (0..p).map(|_| Mutex::new(RankCost::default())).collect(),
+            costs: (0..p).map(|_| Mutex::new(RankLedger::default())).collect(),
             timeout: self.timeout,
             poisoned: AtomicBool::new(false),
             traces: self
@@ -147,7 +147,13 @@ impl Machine {
         let world = Arc::try_unwrap(world).unwrap_or_else(|_| {
             panic!("a Comm outlived the machine run; do not leak communicators from the closure")
         });
-        let ranks = world.costs.into_iter().map(|m| m.into_inner()).collect();
+        let mut ranks = Vec::with_capacity(p);
+        let mut phases = Vec::with_capacity(p);
+        for m in world.costs {
+            let (total, rank_phases) = m.into_inner().into_parts();
+            ranks.push(total);
+            phases.push(rank_phases);
+        }
         let traces = world
             .traces
             .map(|ts| ts.into_iter().map(|m| m.into_inner()).collect());
@@ -156,6 +162,7 @@ impl Machine {
             cost: CostReport {
                 model: self.model,
                 ranks,
+                phases,
             },
             traces,
         }

@@ -31,17 +31,27 @@ pub struct Event {
     pub amount: u64,
     /// The rank's α-β-γ clock when the event completed.
     pub clock: f64,
+    /// The innermost phase open when the event was recorded (see
+    /// [`Comm::push_phase`](crate::Comm::push_phase)), or `None` when the
+    /// rank was outside any span.
+    pub phase: Option<&'static str>,
 }
 
 impl Event {
-    /// CSV row (kind,peer,amount,clock).
+    /// CSV row (kind,peer,amount,clock,phase); `-` for no peer / no phase.
     pub fn to_csv_row(&self) -> String {
         let peer = if self.peer == usize::MAX {
             "-".to_string()
         } else {
             self.peer.to_string()
         };
-        format!("{:?},{peer},{},{:.6e}", self.kind, self.amount, self.clock)
+        format!(
+            "{:?},{peer},{},{:.6e},{}",
+            self.kind,
+            self.amount,
+            self.clock,
+            self.phase.unwrap_or("-")
+        )
     }
 }
 
@@ -59,14 +69,17 @@ mod tests {
             peer: 3,
             amount: 10,
             clock: 1.5,
+            phase: Some("allgather-A"),
         };
-        assert_eq!(e.to_csv_row(), "Send,3,10,1.500000e0");
+        assert_eq!(e.to_csv_row(), "Send,3,10,1.500000e0,allgather-A");
         let f = Event {
             kind: EventKind::Flops,
             peer: usize::MAX,
             amount: 7,
             clock: 0.0,
+            phase: None,
         };
         assert!(f.to_csv_row().starts_with("Flops,-,7,"));
+        assert!(f.to_csv_row().ends_with(",-"));
     }
 }

@@ -1,9 +1,28 @@
 //! Integration: the observability surface — event tracing through a full
-//! algorithm run, and the planner's public reporting types.
+//! algorithm run, phase attribution, and the planner's public reporting
+//! types.
 
-use syrk_repro::core::{syrk_2d_traced, syrk_lower_bound, RankedPlan};
-use syrk_repro::dense::{max_abs_diff, seeded_matrix, syrk_full_reference};
-use syrk_repro::machine::{CostModel, EventKind};
+use syrk_repro::core::{
+    syrk_1d_traced, syrk_2d_traced, syrk_3d_traced, syrk_lower_bound, RankedPlan,
+    PHASE_ALLGATHER_A, PHASE_LOCAL_SYRK, PHASE_REDUCE_SCATTER_C,
+};
+use syrk_repro::dense::{limit_threads, max_abs_diff, seeded_matrix, syrk_full_reference};
+use syrk_repro::machine::{CostModel, CostReport, EventKind, Timeline};
+use syrk_repro::SyrkRunResult;
+
+/// Run every traced algorithm on a shape all three grids accept.
+fn traced_runs() -> Vec<(&'static str, SyrkRunResult, Vec<Timeline>)> {
+    let a = seeded_matrix::<f64>(36, 8, 8);
+    let model = CostModel::default();
+    vec![
+        ("1d", syrk_1d_traced(&a, 4, model)),
+        ("2d", syrk_2d_traced(&a, 3, model)),
+        ("3d", syrk_3d_traced(&a, 2, 2, model)),
+    ]
+    .into_iter()
+    .map(|(name, (run, traces))| (name, run, traces))
+    .collect()
+}
 
 #[test]
 fn traced_2d_run_is_correct_and_fully_logged() {
@@ -48,6 +67,98 @@ fn traced_2d_run_is_correct_and_fully_logged() {
         );
         // CSV rows render for every event.
         assert!(tl.iter().all(|e| !e.to_csv_row().is_empty()));
+    }
+}
+
+#[test]
+fn phase_sums_match_totals_for_all_algorithms() {
+    for (name, run, traces) in traced_runs() {
+        let cost: &CostReport = &run.cost;
+        assert_eq!(traces.len(), cost.num_ranks(), "{name}");
+        for (r, timeline) in traces.iter().enumerate() {
+            // Integer counters: the per-phase ledger partitions every
+            // delta, so summing phases reconstructs the totals exactly.
+            let sums = cost.phases[r].iter().fold([0u64; 5], |mut acc, p| {
+                acc[0] += p.cost.words_sent;
+                acc[1] += p.cost.words_recv;
+                acc[2] += p.cost.msgs_sent;
+                acc[3] += p.cost.msgs_recv;
+                acc[4] += p.cost.flops;
+                acc
+            });
+            let t = &cost.ranks[r];
+            assert_eq!(
+                sums,
+                [
+                    t.words_sent,
+                    t.words_recv,
+                    t.msgs_sent,
+                    t.msgs_recv,
+                    t.flops
+                ],
+                "{name} rank {r}: phase sums diverge from totals"
+            );
+            // The clock is also a sum of per-event deltas (up to float
+            // rounding across phase accumulators).
+            let clock_sum: f64 = cost.phases[r].iter().map(|p| p.cost.clock).sum();
+            assert!(
+                (clock_sum - t.clock).abs() <= 1e-9 * t.clock.max(1.0),
+                "{name} rank {r}: phase clocks sum to {clock_sum}, total {}",
+                t.clock
+            );
+            // Traced events carry the same attribution: per phase, the
+            // flop-event amounts reproduce the phase's flop counter.
+            for p in &cost.phases[r] {
+                let ev_flops: u64 = timeline
+                    .iter()
+                    .filter(|e| e.kind == EventKind::Flops && e.phase == Some(p.name))
+                    .map(|e| e.amount)
+                    .sum();
+                assert_eq!(
+                    ev_flops, p.cost.flops,
+                    "{name} rank {r} phase {}: event flops mismatch",
+                    p.name
+                );
+            }
+        }
+        // The canonical phases the algorithms pay appear in the table.
+        let table = cost.phase_table();
+        let expect: &[&str] = match name {
+            "1d" => &[PHASE_LOCAL_SYRK, PHASE_REDUCE_SCATTER_C],
+            "2d" => &[PHASE_ALLGATHER_A, PHASE_LOCAL_SYRK],
+            _ => &[PHASE_ALLGATHER_A, PHASE_REDUCE_SCATTER_C],
+        };
+        for phase in expect {
+            assert!(
+                table.row(phase).is_some(),
+                "{name}: phase table is missing {phase}\n{table}"
+            );
+        }
+    }
+}
+
+#[test]
+fn timelines_identical_across_host_thread_budgets() {
+    // The simulated cost charging is deterministic; host kernel
+    // parallelism must not leak into the traced timelines.
+    let a = seeded_matrix::<f64>(36, 8, 9);
+    let model = CostModel::default();
+    type Traced = fn(&syrk_repro::dense::Matrix<f64>, CostModel) -> (SyrkRunResult, Vec<Timeline>);
+    let runs: [(&str, Traced); 3] = [
+        ("1d", |a, m| syrk_1d_traced(a, 4, m)),
+        ("2d", |a, m| syrk_2d_traced(a, 3, m)),
+        ("3d", |a, m| syrk_3d_traced(a, 2, 2, m)),
+    ];
+    for (name, f) in runs {
+        let serial = {
+            let _g = limit_threads(1);
+            f(&a, model).1
+        };
+        let wide = {
+            let _g = limit_threads(8);
+            f(&a, model).1
+        };
+        assert_eq!(serial, wide, "{name}: timeline depends on host threads");
     }
 }
 
