@@ -10,8 +10,8 @@
 use std::fmt::Write as _;
 use syrk_bench::timing::{fast_mode, Group, Measurement};
 use syrk_dense::{
-    gemm_flops, gemm_nt, gemm_nt_ref, limit_threads, seeded_matrix, syrk_flops, syrk_lower_ref,
-    syrk_packed_new, Diag, Matrix,
+    available_threads, gemm_flops, gemm_nt, gemm_nt_ref, hardware_threads, limit_threads,
+    seeded_matrix, syrk_flops, syrk_lower_ref, syrk_packed_new, Diag, Matrix,
 };
 
 struct Entry {
@@ -80,7 +80,8 @@ fn main() {
 
     // Thread scaling of the flop-balanced triangular schedule. On a
     // single-core host the extra threads are OS threads sharing one CPU,
-    // so expect ~1×; hw_threads in the JSON says which case this was.
+    // so expect ~1×; hardware_threads in the JSON says which case this
+    // was (see BENCH_scaling.json for the dedicated sweep).
     let mut g = Group::new(&format!("syrk_packed_thread_scaling_n{n}_k{k}"));
     for threads in [1usize, 2, 4] {
         let _guard = limit_threads(threads);
@@ -107,16 +108,19 @@ fn main() {
     println!("\nsingle-thread speedup vs reference: gemm_nt {gemm_speedup:.2}x, syrk_packed {syrk_speedup:.2}x");
 
     // Hand-rolled JSON (the workspace has no serializer dependency).
-    let hw = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(1);
+    // Hardware parallelism and the effective thread count (after any
+    // SYRK_NUM_THREADS override) are recorded separately: a capped run on
+    // a big machine and a thread-starved host look identical otherwise.
+    let hw = hardware_threads();
+    let effective = available_threads();
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"kernels\",");
     let _ = writeln!(json, "  \"n\": {n},");
     let _ = writeln!(json, "  \"k\": {k},");
     let _ = writeln!(json, "  \"fast_mode\": {},", fast_mode());
-    let _ = writeln!(json, "  \"hw_threads\": {hw},");
+    let _ = writeln!(json, "  \"hardware_threads\": {hw},");
+    let _ = writeln!(json, "  \"available_threads\": {effective},");
     let _ = writeln!(
         json,
         "  \"single_thread_speedup\": {{ \"gemm_nt\": {gemm_speedup:.3}, \"syrk_packed\": {syrk_speedup:.3} }},"

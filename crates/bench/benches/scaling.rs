@@ -1,0 +1,207 @@
+//! Parallel-scaling bench for the work-stealing kernel runtime.
+//!
+//! Emits `BENCH_scaling.json` (override with `SYRK_SCALING_JSON`) with a
+//! 1/2/4-thread sweep of `syrk_packed` and `gemm_nt`, plus three hard
+//! gates that exit non-zero on failure — CI runs this in smoke mode:
+//!
+//! 1. **Determinism**: the packed SYRK and GEMM results at 2 and 4
+//!    threads, and under the ambient environment default (whatever
+//!    `SYRK_NUM_THREADS` says), must be bitwise identical to the
+//!    single-thread run.
+//! 2. **Arena steady state**: a second identical kernel call must
+//!    allocate zero new pack-buffer bytes (every buffer comes back out
+//!    of the arena).
+//! 3. **Shared-pack traffic**: the measured pack words of a 4-thread
+//!    SYRK must equal one full shared pack (each block packed exactly
+//!    once), at least 1.8× less than the per-chunk packing model.
+//!
+//! `SYRK_BENCH_FAST=1` shrinks the problem to smoke size.
+
+use std::fmt::Write as _;
+use syrk_bench::timing::{fast_mode, Group, Measurement};
+use syrk_dense::microkernel::MR;
+use syrk_dense::pack::packed_panel_len;
+use syrk_dense::{
+    available_threads, balanced_triangle_chunks, gemm_flops, hardware_threads, kernel_stats,
+    limit_threads, mul_nt, per_chunk_pack_words, seeded_matrix, steal_task_count, syrk_flops,
+    syrk_packed_new, Diag,
+};
+
+struct Entry {
+    kernel: &'static str,
+    threads: usize,
+    seconds: f64,
+    gflops: f64,
+}
+
+fn fail(gate: &str, detail: String) -> ! {
+    eprintln!("GATE FAILED [{gate}]: {detail}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let (n, k) = if fast_mode() {
+        (128usize, 128usize)
+    } else {
+        (512usize, 512usize)
+    };
+    let a = seeded_matrix::<f64>(n, k, 1);
+    let b = seeded_matrix::<f64>(n, k, 2);
+    let sflops = syrk_flops(n, k);
+    let gflops = gemm_flops(n, n, k);
+
+    // Gate 1: bitwise determinism across thread counts, including a run
+    // at the environment default (no budget guard), which is how CI
+    // exercises SYRK_NUM_THREADS.
+    let syrk_base = {
+        let _g = limit_threads(1);
+        syrk_packed_new(&a, Diag::Inclusive)
+    };
+    let gemm_base = {
+        let _g = limit_threads(1);
+        mul_nt(&a, &b)
+    };
+    for threads in [2usize, 4] {
+        let _g = limit_threads(threads);
+        if syrk_packed_new(&a, Diag::Inclusive) != syrk_base {
+            fail(
+                "determinism",
+                format!("syrk_packed diverged at {threads} threads"),
+            );
+        }
+        if mul_nt(&a, &b) != gemm_base {
+            fail(
+                "determinism",
+                format!("gemm_nt diverged at {threads} threads"),
+            );
+        }
+    }
+    let env_threads = available_threads();
+    if syrk_packed_new(&a, Diag::Inclusive) != syrk_base {
+        fail(
+            "determinism",
+            format!("syrk_packed diverged at the environment default ({env_threads} threads)"),
+        );
+    }
+    if mul_nt(&a, &b) != gemm_base {
+        fail(
+            "determinism",
+            format!("gemm_nt diverged at the environment default ({env_threads} threads)"),
+        );
+    }
+    println!("determinism: ok (1 == 2 == 4 == env default of {env_threads} threads)");
+
+    // Gate 2: arena steady state — a second identical call allocates
+    // nothing (the sweep above already warmed every shape we measure).
+    let steady = {
+        let _g = limit_threads(4);
+        let before = kernel_stats();
+        let _ = syrk_packed_new(&a, Diag::Inclusive);
+        let _ = mul_nt(&a, &b);
+        kernel_stats().since(&before)
+    };
+    if steady.arena_alloc_bytes != 0 || steady.arena_misses != 0 {
+        fail(
+            "arena",
+            format!(
+                "steady state allocated {} bytes over {} misses",
+                steady.arena_alloc_bytes, steady.arena_misses
+            ),
+        );
+    }
+    println!(
+        "arena steady state: ok ({} hits, 0 misses, 0 bytes allocated)",
+        steady.arena_hits
+    );
+
+    // Gate 3: shared-pack traffic. One 4-thread SYRK must pack exactly
+    // one full-height shared copy per inner panel — summed over panels,
+    // packed_panel_len(n, k, MR) words — against the per-chunk model of
+    // every chunk packing its own triangle prefix. (Both sums are linear
+    // in the panel widths, so totals use the full k directly.)
+    let syrk_pack_words = {
+        let _g = limit_threads(4);
+        let before = kernel_stats();
+        let _ = syrk_packed_new(&a, Diag::Inclusive);
+        kernel_stats().since(&before).pack_words
+    };
+    let shared_expected = packed_panel_len(n, k, MR) as u64;
+    if syrk_pack_words != shared_expected {
+        fail(
+            "shared-pack",
+            format!("measured {syrk_pack_words} pack words, expected one shared copy = {shared_expected}"),
+        );
+    }
+    let chunks = balanced_triangle_chunks(n, Diag::Inclusive, steal_task_count(4), MR);
+    let per_chunk_model = per_chunk_pack_words(&chunks, k, MR);
+    let reduction = per_chunk_model as f64 / syrk_pack_words as f64;
+    if reduction < 1.8 {
+        fail(
+            "shared-pack",
+            format!(
+                "pack-word reduction {reduction:.2}x < 1.8x (shared {syrk_pack_words} vs per-chunk {per_chunk_model})"
+            ),
+        );
+    }
+    println!(
+        "shared pack: ok ({syrk_pack_words} words vs {per_chunk_model} per-chunk model, {reduction:.2}x reduction over {} chunks)",
+        chunks.len()
+    );
+
+    // Thread sweep: wall-clock scaling of both kernels. On a
+    // thread-starved host the curve is flat (the JSON records hardware
+    // vs effective threads so readers can tell).
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut record = |kernel: &'static str, threads: usize, m: &Measurement, flops: u64| {
+        entries.push(Entry {
+            kernel,
+            threads,
+            seconds: m.median,
+            gflops: m.gflops(flops),
+        });
+    };
+    let mut g = Group::new(&format!("scaling_n{n}_k{k}"));
+    for threads in [1usize, 2, 4] {
+        let _guard = limit_threads(threads);
+        let m = g.bench(&format!("syrk_packed_threads_{threads}"), || {
+            syrk_packed_new(&a, Diag::Inclusive)
+        });
+        record("syrk_packed", threads, &m, sflops);
+        let m = g.bench(&format!("gemm_nt_threads_{threads}"), || mul_nt(&a, &b));
+        record("gemm_nt", threads, &m, gflops);
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"scaling\",");
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"k\": {k},");
+    let _ = writeln!(json, "  \"fast_mode\": {},", fast_mode());
+    let _ = writeln!(json, "  \"hardware_threads\": {},", hardware_threads());
+    let _ = writeln!(json, "  \"available_threads\": {env_threads},");
+    let _ = writeln!(json, "  \"determinism_ok\": true,");
+    let _ = writeln!(
+        json,
+        "  \"arena\": {{ \"steady_hits\": {}, \"steady_misses\": {}, \"steady_alloc_bytes\": {} }},",
+        steady.arena_hits, steady.arena_misses, steady.arena_alloc_bytes
+    );
+    let _ = writeln!(
+        json,
+        "  \"pack_words\": {{ \"shared_measured\": {syrk_pack_words}, \"per_chunk_model\": {per_chunk_model}, \"reduction\": {reduction:.3}, \"chunks\": {} }},",
+        chunks.len()
+    );
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"kernel\": \"{}\", \"threads\": {}, \"seconds\": {:.6e}, \"gflops\": {:.3} }}{comma}",
+            e.kernel, e.threads, e.seconds, e.gflops
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    let path = std::env::var("SYRK_SCALING_JSON").unwrap_or_else(|_| "BENCH_scaling.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_scaling.json");
+    println!("wrote {path}");
+}

@@ -99,6 +99,10 @@ fn main() {
         total_flops as f64 / wall.max(1e-9) / 1e9,
         format_time(wall),
     );
+    println!(
+        "kernel runtime: {} steals, arena {} hits / {} misses / {} bytes allocated",
+        kernels.steals, kernels.arena_hits, kernels.arena_misses, kernels.arena_alloc_bytes,
+    );
 
     let dir = std::path::Path::new("target/experiments");
     if let Err(e) = std::fs::create_dir_all(dir) {

@@ -10,7 +10,7 @@
 
 use syrk_dense::{
     available_threads, balanced_chunks_by_cost, gemm_flops, limit_threads, machine_thread_budget,
-    mul_nt, par_for_each_task, syrk_flops, syrk_packed_new, Diag, Matrix,
+    mul_nt, par_for_each_task, steal_task_count, syrk_flops, syrk_packed_new, Diag, Matrix,
 };
 use syrk_machine::{Comm, CostModel, Machine};
 
@@ -133,7 +133,9 @@ pub(crate) fn twod_body_impl(
         comm.add_flops(f);
     }
     let mut results: Vec<Option<OffDiagBlock>> = (0..blocks.len()).map(|_| None).collect();
-    let chunks = balanced_chunks_by_cost(&costs, available_threads(), 1);
+    // Oversubscribe chunks past the worker count so the work-stealing
+    // runtime can rebalance uneven block sizes.
+    let chunks = balanced_chunks_by_cost(&costs, steal_task_count(available_threads()), 1);
     let mut tasks: Vec<(std::ops::Range<usize>, &mut [Option<OffDiagBlock>])> = Vec::new();
     let mut rest = results.as_mut_slice();
     for r in &chunks {

@@ -5,10 +5,11 @@
 //! close the loop for the CholeskyQR / normal-equations examples — the
 //! distributed SYRK produces the Gram matrix, these consume it.
 
+use crate::arena;
 use crate::matrix::Matrix;
-use crate::microkernel::{microkernel, MR, NR};
-use crate::pack::{pack_rows, panel_offset};
-use crate::parallel::{available_threads, par_for_each_task};
+use crate::microkernel::{microkernel, microkernel_wide, Acc, MR, NR};
+use crate::pack::{pack_rows, packed_panel_len, panel_offset};
+use crate::parallel::{available_threads, par_for_each_task, steal_task_count};
 use crate::scalar::Scalar;
 use crate::schedule::balanced_triangle_chunks;
 
@@ -98,7 +99,13 @@ fn cholesky_blocked<T: Scalar>(g: &Matrix<T>) -> Result<Matrix<T>, CholeskyError
     let n = g.rows();
     // Work in place on the lower triangle; the strict upper stays zero.
     let mut l = Matrix::from_fn(n, n, |i, j| if j <= i { g[(i, j)] } else { T::zero() });
-    let mut panel = Vec::new();
+    // Arena-backed panel workspace, sized once for the largest trailing
+    // pack (the first iteration's) so later packs never reallocate.
+    let mut panel = arena::acquire::<T>(packed_panel_len(
+        n.saturating_sub(CHOLESKY_BLOCK),
+        CHOLESKY_BLOCK,
+        MR,
+    ));
     for k0 in (0..n).step_by(CHOLESKY_BLOCK) {
         let nb = CHOLESKY_BLOCK.min(n - k0);
         let k1 = k0 + nb;
@@ -137,15 +144,18 @@ fn cholesky_blocked<T: Scalar>(g: &Matrix<T>) -> Result<Matrix<T>, CholeskyError
             }
         }
         // Trailing update: lower(A22) −= L21·L21ᵀ. The panel is packed
-        // once (resolving the read-while-writing aliasing), then
-        // flop-balanced row chunks of the trailing triangle run in
-        // parallel — chunk rows are contiguous slices of the matrix.
+        // once by the caller (a task's row slice of `l` spans the full
+        // matrix width including the pack-source columns, so cooperative
+        // packing would alias the read with concurrent writes), then
+        // flop-balanced, work-stolen row chunks of the trailing triangle
+        // run in parallel — chunk rows are contiguous slices of the
+        // matrix. f64 sweeps dual-panel wide tiles away from chunk tails.
         let trailing = n - k1;
-        pack_rows(&mut panel, &l, k1..n, k0..k1, MR);
+        pack_rows(panel.vec_mut(), &l, k1..n, k0..k1, MR);
         let chunks = balanced_triangle_chunks(
             trailing,
             crate::packed::Diag::Inclusive,
-            available_threads(),
+            steal_task_count(available_threads()),
             MR,
         );
         let mut rest = &mut l.as_mut_slice()[k1 * n..];
@@ -155,27 +165,45 @@ fn cholesky_blocked<T: Scalar>(g: &Matrix<T>) -> Result<Matrix<T>, CholeskyError
             tasks.push((r.clone(), head));
             rest = tail;
         }
-        let panel = &panel;
+        let panel: &[T] = panel.vec_mut();
+        // Subtract `acc`'s leading `rr` rows from the trailing triangle,
+        // clamping each row `i` to its inclusive diagonal bound.
+        let store = |lbuf: &mut [T], acc: &Acc<T>, row0: usize, it: usize, rr: usize, j0: usize| {
+            for (u, arow) in acc.iter().enumerate().take(rr) {
+                let i = it + u;
+                let jend = (j0 + NR).min(i + 1);
+                if jend <= j0 {
+                    continue;
+                }
+                let off = (i - row0) * n + k1 + j0;
+                let dst = &mut lbuf[off..off + jend - j0];
+                for (d, &v) in dst.iter_mut().zip(arow.iter()) {
+                    *d -= v;
+                }
+            }
+        };
         par_for_each_task(tasks, |_, (rows, lbuf)| {
-            for it in (rows.start..rows.end).step_by(MR) {
-                let rr = MR.min(rows.end - it);
+            let mut it = rows.start;
+            while it < rows.end {
+                let wide = T::WIDE_KERNEL && it + 2 * MR <= rows.end;
+                let take = if wide { 2 * MR } else { MR.min(rows.end - it) };
                 let ap = &panel[panel_offset(it, nb, MR)..];
-                for j0 in (0..it + rr).step_by(NR) {
-                    let bp = &panel[panel_offset(j0, nb, NR)..];
-                    let acc = microkernel(nb, ap, bp);
-                    for (u, arow) in acc.iter().enumerate().take(rr) {
-                        let i = it + u;
-                        let jend = (j0 + NR).min(i + 1);
-                        if jend <= j0 {
-                            continue;
-                        }
-                        let off = (i - rows.start) * n + k1 + j0;
-                        let dst = &mut lbuf[off..off + jend - j0];
-                        for (d, &v) in dst.iter_mut().zip(arow.iter()) {
-                            *d -= v;
-                        }
+                if wide {
+                    let ap1 = &panel[panel_offset(it + MR, nb, MR)..];
+                    for j0 in (0..it + take).step_by(NR) {
+                        let bp = &panel[panel_offset(j0, nb, NR)..];
+                        let (acc0, acc1) = microkernel_wide(nb, ap, ap1, bp);
+                        store(lbuf, &acc0, rows.start, it, MR, j0);
+                        store(lbuf, &acc1, rows.start, it + MR, MR, j0);
+                    }
+                } else {
+                    for j0 in (0..it + take).step_by(NR) {
+                        let bp = &panel[panel_offset(j0, nb, NR)..];
+                        let acc = microkernel(nb, ap, bp);
+                        store(lbuf, &acc, rows.start, it, take, j0);
                     }
                 }
+                it += take;
             }
         });
     }

@@ -11,14 +11,21 @@
 //! on [`crate::microkernel`]: the operands are packed into k-major
 //! micro-panels per `KC`-wide panel of the inner dimension, and an
 //! `MR × NR` register tile is accumulated per inner call. Parallelism is
-//! over disjoint row chunks of `C` (see [`crate::parallel`]); every `C`
-//! element is accumulated in ascending-k order regardless of blocking or
-//! thread count, so results are deterministic.
+//! over disjoint row chunks of `C`, work-stolen from per-worker deques
+//! (see [`crate::parallel`]); the B-side pack of each inner panel is a
+//! [`SharedPack`] published `NC`-column block by block, each packed
+//! exactly once by whichever worker first sweeps it, while A row blocks
+//! are packed per task into [`crate::arena`] buffers. Every `C` element
+//! is accumulated in ascending-k order regardless of blocking, stealing,
+//! or thread count, so results are deterministic.
 
+use crate::arena;
 use crate::matrix::Matrix;
-use crate::microkernel::{microkernel, store_add, MR, NR};
-use crate::pack::{pack_cols, pack_rows, panel_offset};
-use crate::parallel::par_for_each_task;
+use crate::microkernel::{microkernel, microkernel_wide, store_add, MR, NR};
+use crate::pack::{
+    pack_cols_into, pack_rows, pack_rows_into, packed_panel_len, panel_offset, SharedPack,
+};
+use crate::parallel::{par_for_each_task, steal_task_count};
 use crate::scalar::Scalar;
 use crate::schedule::balanced_chunks_by_cost;
 use std::ops::Range;
@@ -74,10 +81,10 @@ pub(crate) const MC: usize = 64;
 /// Column-block width swept per A block (B panel window: `NC × KC`).
 pub(crate) const NC: usize = 256;
 
-/// Evenly sized `MR`-aligned row chunks of `m` rows, at most one per
-/// available worker.
-fn row_chunks(m: usize, workers: usize) -> Vec<Range<usize>> {
-    balanced_chunks_by_cost(&vec![1u64; m], workers, MR)
+/// Evenly sized `MR`-aligned row chunks of `m` rows, at most `parts` of
+/// them (callers oversubscribe the worker count so stealing has slack).
+fn row_chunks(m: usize, parts: usize) -> Vec<Range<usize>> {
+    balanced_chunks_by_cost(&vec![1u64; m], parts, MR)
 }
 
 /// Split `c`'s backing slice at chunk row boundaries (rows are contiguous
@@ -97,42 +104,63 @@ fn split_rows<'c, T: Scalar>(
     out
 }
 
-/// The packed-kernel GEMM driver. `bpack` holds the full `NR`-panel pack
-/// of the current inner panel of B (or Bᵀ); each task packs its own A row
-/// blocks and sweeps register tiles.
+/// The packed-kernel GEMM driver. The B-side pack of the current inner
+/// panel is a [`SharedPack`] over all `n` packed columns, published in
+/// `NC`-column blocks by whichever worker first sweeps each window;
+/// `pack_b(cols, ks, dst)` fills one such block for inner range `ks`.
+/// Each task packs its own A row blocks into an arena buffer and sweeps
+/// register tiles (dual-panel wide on scalars that enable it).
 fn gemm_driver<T: Scalar>(
     c: &mut Matrix<T>,
     a: &Matrix<T>,
-    pack_b: impl Fn(&mut Vec<T>, Range<usize>),
-    workers: usize,
+    pack_b: impl Fn(Range<usize>, Range<usize>, &mut [T]) + Sync,
 ) {
     let (m, k) = a.shape();
     let n = c.cols();
-    let chunks = row_chunks(m, workers);
-    let mut bpack = Vec::new();
+    let workers = crate::parallel::available_threads();
+    // Oversubscribe row chunks so idle workers can steal; which chunk a
+    // tile lands in never affects its value.
+    let chunks = row_chunks(m, steal_task_count(workers));
+    let kc_cap = KC.min(k);
+    let mut bbuf = arena::acquire::<T>(packed_panel_len(n, kc_cap, NR));
     for p0 in (0..k).step_by(KC) {
         let pb = KC.min(k - p0);
-        pack_b(&mut bpack, p0..p0 + pb);
+        let ks = p0..p0 + pb;
+        let bshared = SharedPack::new(bbuf.resized(packed_panel_len(n, pb, NR)), n, pb, NR, NC);
+        let pack_b_block = |cols: Range<usize>, dst: &mut [T]| pack_b(cols, ks.clone(), dst);
         let tasks = split_rows(c, &chunks);
         par_for_each_task(tasks, |_, (rows, cbuf)| {
-            let mut apack = Vec::new();
+            let mut apack = arena::acquire::<T>(packed_panel_len(MC.min(rows.len()), pb, MR));
             let mut tiles = 0u64;
             for i0 in (rows.start..rows.end).step_by(MC) {
                 let ib = MC.min(rows.end - i0);
-                pack_rows(&mut apack, a, i0..i0 + ib, p0..p0 + pb, MR);
+                pack_rows(apack.vec_mut(), a, i0..i0 + ib, ks.clone(), MR);
                 for jc in (0..n).step_by(NC) {
                     let jc_end = (jc + NC).min(n);
-                    for it in (0..ib).step_by(MR) {
-                        let rr = MR.min(ib - it);
-                        let ap = &apack[panel_offset(it, pb, MR)..];
+                    // NC-aligned windows map 1:1 onto publication blocks.
+                    bshared.ensure_rows(jc..jc_end, &pack_b_block);
+                    let mut it = 0;
+                    while it < ib {
+                        let wide = T::WIDE_KERNEL && it + 2 * MR <= ib;
+                        let take = if wide { 2 * MR } else { MR.min(ib - it) };
+                        let ap0 = &apack.vec_mut()[panel_offset(it, pb, MR)..];
                         for j0 in (jc..jc_end).step_by(NR) {
                             let cc = NR.min(jc_end - j0);
-                            let bp = &bpack[panel_offset(j0, pb, NR)..];
-                            let acc = microkernel(pb, ap, bp);
-                            tiles += 1;
+                            let bp = bshared.panel(j0);
                             let off = (i0 - rows.start + it) * n + j0;
-                            store_add(&mut cbuf[off..], n, rr, cc, &acc);
+                            if wide {
+                                let ap1 = &ap0[panel_offset(MR, pb, MR)..];
+                                let (acc0, acc1) = microkernel_wide(pb, ap0, ap1, bp);
+                                tiles += 2;
+                                store_add(&mut cbuf[off..], n, MR, cc, &acc0);
+                                store_add(&mut cbuf[off + MR * n..], n, MR, cc, &acc1);
+                            } else {
+                                let acc = microkernel(pb, ap0, bp);
+                                tiles += 1;
+                                store_add(&mut cbuf[off..], n, take, cc, &acc);
+                            }
                         }
+                        it += take;
                     }
                 }
             }
@@ -150,9 +178,8 @@ pub fn gemm_nt<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let workers = crate::parallel::available_threads();
     // Bᵀ's columns are B's rows, so the B-side pack is a row pack.
-    gemm_driver(c, a, |buf, ks| pack_rows(buf, b, 0..n, ks, NR), workers);
+    gemm_driver(c, a, |cols, ks, dst| pack_rows_into(dst, b, cols, ks, NR));
 }
 
 /// Packed, register-blocked, multi-threaded `C += A·B`.
@@ -164,8 +191,7 @@ pub fn gemm_nn<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let workers = crate::parallel::available_threads();
-    gemm_driver(c, a, |buf, ks| pack_cols(buf, b, ks, 0..n, NR), workers);
+    gemm_driver(c, a, |cols, ks, dst| pack_cols_into(dst, b, ks, cols, NR));
 }
 
 /// Convenience: `A·Bᵀ` into a fresh matrix.

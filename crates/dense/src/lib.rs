@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 mod blocking;
 mod cholesky;
 mod gemm;
@@ -45,10 +46,13 @@ pub use gemm::{gemm_flops, gemm_nn, gemm_nn_ref, gemm_nt, gemm_nt_ref, mul_nn, m
 pub use matrix::Matrix;
 pub use norms::{frobenius, max_abs_diff, max_abs_diff_lower, syrk_tolerance};
 pub use packed::{Diag, PackedLower};
-pub use parallel::{available_threads, limit_threads, machine_thread_budget, par_for_each_task};
+pub use parallel::{
+    available_threads, hardware_threads, limit_threads, machine_thread_budget, par_for_each_task,
+    steal_task_count,
+};
 pub use rng::{seeded_int_matrix, seeded_matrix, DetRng};
 pub use scalar::Scalar;
-pub use schedule::{balanced_chunks_by_cost, balanced_triangle_chunks};
+pub use schedule::{balanced_chunks_by_cost, balanced_triangle_chunks, per_chunk_pack_words};
 pub use stats::{kernel_stats, reset_kernel_stats, KernelStats};
 pub use syr2k::{
     syr2k_flops, syr2k_full_reference, syr2k_lower_ref, syr2k_packed, syr2k_packed_new,

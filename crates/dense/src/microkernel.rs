@@ -60,6 +60,51 @@ pub fn microkernel<T: Scalar>(kc: usize, ap: &[T], bp: &[T]) -> Acc<T> {
     acc
 }
 
+/// Dual-panel wide kernel: two vertically adjacent `MR × NR` tiles of
+/// `Ap · Bpᵀ` in one k-sweep. `ap0` and `ap1` are two *consecutive*
+/// k-major micro-panels of A (rows `i..i+MR` and `i+MR..i+2MR`), `bp`
+/// one panel of B; each loaded B group feeds both accumulators, doubling
+/// the arithmetic per B-load and filling the register file an `MR × NR`
+/// tile leaves half empty on f64 targets.
+///
+/// Every element's accumulation is the *same sequence* of `+`/`*` ops,
+/// in the same ascending-k order and 4× unroll grouping, as the plain
+/// [`microkernel`] — the two tiles' updates interleave in program order
+/// but never mix lanes — so `(acc0, acc1)` is **bitwise identical** to
+/// two separate narrow calls. Drivers may therefore pick wide or narrow
+/// freely (per chunk, per tail) without perturbing results.
+#[inline]
+pub fn microkernel_wide<T: Scalar>(kc: usize, ap0: &[T], ap1: &[T], bp: &[T]) -> (Acc<T>, Acc<T>) {
+    let mut acc0 = [[T::zero(); NR]; MR];
+    let mut acc1 = [[T::zero(); NR]; MR];
+    let ap0 = &ap0[..kc * MR];
+    let ap1 = &ap1[..kc * MR];
+    let bp = &bp[..kc * NR];
+    let mut a0 = ap0.chunks_exact(4 * MR);
+    let mut a1 = ap1.chunks_exact(4 * MR);
+    let mut b4 = bp.chunks_exact(4 * NR);
+    for ((x0, x1), y) in a0.by_ref().zip(a1.by_ref()).zip(b4.by_ref()) {
+        step(&mut acc0, &x0[..MR], &y[..NR]);
+        step(&mut acc1, &x1[..MR], &y[..NR]);
+        step(&mut acc0, &x0[MR..2 * MR], &y[NR..2 * NR]);
+        step(&mut acc1, &x1[MR..2 * MR], &y[NR..2 * NR]);
+        step(&mut acc0, &x0[2 * MR..3 * MR], &y[2 * NR..3 * NR]);
+        step(&mut acc1, &x1[2 * MR..3 * MR], &y[2 * NR..3 * NR]);
+        step(&mut acc0, &x0[3 * MR..], &y[3 * NR..]);
+        step(&mut acc1, &x1[3 * MR..], &y[3 * NR..]);
+    }
+    for ((x0, x1), y) in a0
+        .remainder()
+        .chunks_exact(MR)
+        .zip(a1.remainder().chunks_exact(MR))
+        .zip(b4.remainder().chunks_exact(NR))
+    {
+        step(&mut acc0, x0, y);
+        step(&mut acc1, x1, y);
+    }
+    (acc0, acc1)
+}
+
 /// `acc[i1] + acc[i2]` lane-wise — used by SYR2K to fuse its two products
 /// before a single store.
 #[inline]
@@ -123,6 +168,26 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn wide_kernel_bitwise_matches_two_narrow_calls() {
+        for kc in [0usize, 1, 3, 4, 5, 8, 17, 64, 129] {
+            let a = seeded_matrix::<f64>(2 * MR, kc, 300 + kc as u64);
+            let b = seeded_matrix::<f64>(NR, kc, 400 + kc as u64);
+            let (mut ap, mut bp) = (Vec::new(), Vec::new());
+            pack_rows(&mut ap, &a, 0..2 * MR, 0..kc, MR);
+            pack_rows(&mut bp, &b, 0..NR, 0..kc, NR);
+            let ap0 = &ap[..kc * MR];
+            let ap1 = &ap[kc * MR..];
+            let (w0, w1) = microkernel_wide(kc, ap0, ap1, &bp);
+            let n0 = microkernel(kc, ap0, &bp);
+            let n1 = microkernel(kc, ap1, &bp);
+            // Bitwise, not approximate: the wide kernel must be a pure
+            // scheduling change.
+            assert_eq!(w0, n0, "kc={kc} upper tile");
+            assert_eq!(w1, n1, "kc={kc} lower tile");
         }
     }
 

@@ -18,10 +18,25 @@
 //! Tail panels with fewer than `R` live rows are zero-padded, so the
 //! microkernel never needs a fringe case: padded lanes multiply into
 //! zeros that are simply not stored back.
+//!
+//! Two packing surfaces exist:
+//!
+//! * [`pack_rows`] / [`pack_cols`] fill a caller-owned `Vec` (typically
+//!   an arena buffer) — the per-task path for operands only one worker
+//!   reads, and
+//! * [`SharedPack`] — a panel buffer **shared across workers** with
+//!   once-cell-style per-block publication: the first worker to need a
+//!   `block_rows`-row block packs it (exactly once), everyone else reads
+//!   the published panels. This is what lets SYRK's symmetric
+//!   `MR == NR` trick feed *one* packed copy of A to both operands of
+//!   every register tile across all workers, instead of each chunk
+//!   packing its own overlapping copy.
 
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
+use std::cell::UnsafeCell;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Number of scalars in a packed panel buffer for `rows` rows (or
 /// columns), `kc` inner iterations, and register width `r`.
@@ -37,9 +52,21 @@ pub fn panel_offset(row: usize, kc: usize, r: usize) -> usize {
     row * kc
 }
 
+/// Set `buf`'s length to exactly `len` without touching retained
+/// contents: grow-with-zeros only past the current length, truncate
+/// otherwise. The pack routines below fully overwrite every element, so
+/// reused (arena) buffers skip the O(len) zero-fill a clear+resize pays.
+fn set_pack_len<T: Scalar>(buf: &mut Vec<T>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, T::zero());
+    } else {
+        buf.truncate(len);
+    }
+}
+
 /// Pack rows `rows` of `a`, restricted to columns `cols`, into `buf` as
-/// zero-padded `r`-row k-major micro-panels. `buf` is cleared and
-/// resized; reuse one buffer across panels to amortize the allocation.
+/// zero-padded `r`-row k-major micro-panels. `buf` is resized; reuse one
+/// (arena) buffer across panels to amortize the allocation.
 pub fn pack_rows<T: Scalar>(
     buf: &mut Vec<T>,
     a: &Matrix<T>,
@@ -47,22 +74,39 @@ pub fn pack_rows<T: Scalar>(
     cols: Range<usize>,
     r: usize,
 ) {
+    set_pack_len(buf, packed_panel_len(rows.len(), cols.len(), r));
+    pack_rows_into(&mut buf[..], a, rows, cols, r);
+}
+
+/// [`pack_rows`] into a caller-provided slice of exactly
+/// [`packed_panel_len`] elements. Fully initializes `dst` — live lanes
+/// from `a`, padding lanes zero — so the destination's prior contents
+/// (stale arena data, a reused shared buffer) never leak through.
+pub fn pack_rows_into<T: Scalar>(
+    dst: &mut [T],
+    a: &Matrix<T>,
+    rows: Range<usize>,
+    cols: Range<usize>,
+    r: usize,
+) {
     let m = rows.len();
     let kc = cols.len();
-    buf.clear();
-    buf.resize(packed_panel_len(m, kc, r), T::zero());
+    debug_assert_eq!(dst.len(), packed_panel_len(m, kc, r));
     for q in 0..m.div_ceil(r) {
         let i0 = rows.start + q * r;
         let live = r.min(rows.end - i0);
-        let dst = &mut buf[q * r * kc..(q + 1) * r * kc];
+        let chunk = &mut dst[q * r * kc..(q + 1) * r * kc];
+        if live < r {
+            chunk.fill(T::zero());
+        }
         for u in 0..live {
             let src = &a.row(i0 + u)[cols.clone()];
             for (p, &v) in src.iter().enumerate() {
-                dst[p * r + u] = v;
+                chunk[p * r + u] = v;
             }
         }
     }
-    crate::stats::add_pack_words(buf.len());
+    crate::stats::add_pack_words(dst.len());
 }
 
 /// Pack columns `cols` of `b`, restricted to rows `rows` (the inner
@@ -77,25 +121,212 @@ pub fn pack_cols<T: Scalar>(
     cols: Range<usize>,
     r: usize,
 ) {
+    set_pack_len(buf, packed_panel_len(cols.len(), rows.len(), r));
+    pack_cols_into(&mut buf[..], b, rows, cols, r);
+}
+
+/// [`pack_cols`] into a caller-provided slice of exactly
+/// [`packed_panel_len`] elements; fully initializes `dst` like
+/// [`pack_rows_into`].
+pub fn pack_cols_into<T: Scalar>(
+    dst: &mut [T],
+    b: &Matrix<T>,
+    rows: Range<usize>,
+    cols: Range<usize>,
+    r: usize,
+) {
     let kc = rows.len();
     let n = cols.len();
-    buf.clear();
-    buf.resize(packed_panel_len(n, kc, r), T::zero());
+    debug_assert_eq!(dst.len(), packed_panel_len(n, kc, r));
     for q in 0..n.div_ceil(r) {
         let j0 = cols.start + q * r;
         let live = r.min(cols.end - j0);
-        let dst = &mut buf[q * r * kc..(q + 1) * r * kc];
+        let chunk = &mut dst[q * r * kc..(q + 1) * r * kc];
+        if live < r {
+            chunk.fill(T::zero());
+        }
         for p in 0..kc {
             let src = &b.row(rows.start + p)[j0..j0 + live];
-            dst[p * r..p * r + live].copy_from_slice(src);
+            chunk[p * r..p * r + live].copy_from_slice(src);
         }
     }
-    crate::stats::add_pack_words(buf.len());
+    crate::stats::add_pack_words(dst.len());
+}
+
+const BLOCK_EMPTY: u8 = 0;
+const BLOCK_PACKING: u8 = 1;
+const BLOCK_READY: u8 = 2;
+
+/// A packed panel buffer shared by every worker of a parallel region,
+/// published block-by-block exactly once.
+///
+/// The buffer covers `rows` logical rows at register width `r` and inner
+/// depth `kc`, split into blocks of `block_rows` rows (a multiple of
+/// `r`, so micro-panels never straddle blocks). Each block carries a
+/// once-cell-style state machine (`empty → packing → ready`): the first
+/// worker to [`ensure`](SharedPack::ensure) a block wins a CAS and packs
+/// it in place; latecomers spin (with yields) until the `ready` flag is
+/// published with release ordering, then read the panels through
+/// [`panel`](SharedPack::panel). Packed content is a pure function of
+/// the source matrix, so *who* packs is immaterial — results are
+/// deterministic under any steal schedule.
+///
+/// Safety model: the storage is borrowed exclusively (`&mut [T]`) for
+/// the lifetime of the `SharedPack` and re-exposed through
+/// [`UnsafeCell`]s. A block is written only by the CAS winner while in
+/// the `packing` state, and read only after the acquire-load of
+/// `ready` — the release/acquire pair orders the pack writes before
+/// every read, and disjoint blocks never alias.
+pub struct SharedPack<'a, T: Scalar> {
+    cells: &'a [UnsafeCell<T>],
+    kc: usize,
+    r: usize,
+    rows: usize,
+    block_rows: usize,
+    states: Vec<AtomicU8>,
+}
+
+// SAFETY: concurrent access to `cells` is mediated by the per-block
+// release/acquire state machine described on the type; `T: Scalar` is
+// `Send + Sync` plain data.
+unsafe impl<T: Scalar> Sync for SharedPack<'_, T> {}
+
+impl<'a, T: Scalar> SharedPack<'a, T> {
+    /// Wrap `buf` (length exactly `packed_panel_len(rows, kc, r)`) as an
+    /// unpacked shared panel buffer with `block_rows`-row publication
+    /// granularity. `buf` contents are treated as uninitialized.
+    pub fn new(buf: &'a mut [T], rows: usize, kc: usize, r: usize, block_rows: usize) -> Self {
+        assert!(r >= 1 && block_rows >= r && block_rows.is_multiple_of(r));
+        assert_eq!(
+            buf.len(),
+            packed_panel_len(rows, kc, r),
+            "shared pack buffer size"
+        );
+        let nblocks = rows.div_ceil(block_rows);
+        // SAFETY: `UnsafeCell<T>` has the same layout as `T`; we hold the
+        // unique `&mut` borrow for 'a, so re-typing its target as cells
+        // is sound.
+        let cells = unsafe { &*(buf as *mut [T] as *const [UnsafeCell<T>]) };
+        SharedPack {
+            cells,
+            kc,
+            r,
+            rows,
+            block_rows,
+            states: (0..nblocks).map(|_| AtomicU8::new(BLOCK_EMPTY)).collect(),
+        }
+    }
+
+    /// The publication block containing logical row `row`.
+    #[inline]
+    pub fn block_of(&self, row: usize) -> usize {
+        row / self.block_rows
+    }
+
+    /// The logical row range of block `b` (unpadded).
+    fn block_range(&self, b: usize) -> Range<usize> {
+        let r0 = b * self.block_rows;
+        r0..(r0 + self.block_rows).min(self.rows)
+    }
+
+    /// The cell range of block `b`, padded to whole micro-panels.
+    fn cell_range(&self, b: usize) -> Range<usize> {
+        let rr = self.block_range(b);
+        rr.start * self.kc..rr.end.div_ceil(self.r) * self.r * self.kc
+    }
+
+    /// Make block `b` available, packing it via `pack(rows, dst)` if this
+    /// caller wins the publication race. `pack` receives the block's
+    /// logical row range and its exactly-sized destination slice, and
+    /// must fully initialize it (the `pack_*_into` routines do).
+    pub fn ensure<F: Fn(Range<usize>, &mut [T])>(&self, b: usize, pack: &F) {
+        // Fast path: drivers re-ensure blocks once per register-tile
+        // group, so the common case must be one acquire load, not a CAS
+        // ping-ponging the cache line between workers.
+        if self.states[b].load(Ordering::Acquire) == BLOCK_READY {
+            return;
+        }
+        match self.states[b].compare_exchange(
+            BLOCK_EMPTY,
+            BLOCK_PACKING,
+            Ordering::Acquire,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                // Publish even if `pack` unwinds, so waiters never hang:
+                // the panicking worker's region is garbage, but the whole
+                // parallel call is already propagating the panic.
+                struct Publish<'s>(&'s AtomicU8);
+                impl Drop for Publish<'_> {
+                    fn drop(&mut self) {
+                        self.0.store(BLOCK_READY, Ordering::Release);
+                    }
+                }
+                let publish = Publish(&self.states[b]);
+                let span = self.cell_range(b);
+                let cells = &self.cells[span];
+                // SAFETY: the CAS made this caller the unique packer of
+                // this block; readers wait for `ready` below.
+                let dst = unsafe {
+                    std::slice::from_raw_parts_mut(cells.as_ptr() as *mut T, cells.len())
+                };
+                pack(self.block_range(b), dst);
+                drop(publish);
+            }
+            Err(state) => {
+                if state == BLOCK_READY {
+                    return;
+                }
+                let mut spins = 0u32;
+                while self.states[b].load(Ordering::Acquire) != BLOCK_READY {
+                    spins += 1;
+                    if spins.is_multiple_of(64) {
+                        // Single-core hosts: let the packer run.
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Make every block covering logical rows `rows` available.
+    pub fn ensure_rows<F: Fn(Range<usize>, &mut [T])>(&self, rows: Range<usize>, pack: &F) {
+        if rows.is_empty() {
+            return;
+        }
+        for b in self.block_of(rows.start)..=self.block_of(rows.end - 1) {
+            self.ensure(b, pack);
+        }
+    }
+
+    /// The packed `r`-row micro-panel starting at logical row `row`
+    /// (`row` must be a multiple of `r` and inside an ensured block).
+    /// Returns exactly `r · kc` scalars.
+    #[inline]
+    pub fn panel(&self, row: usize) -> &[T] {
+        debug_assert_eq!(row % self.r, 0);
+        debug_assert!(row < self.rows);
+        debug_assert_eq!(
+            self.states[self.block_of(row)].load(Ordering::Acquire),
+            BLOCK_READY,
+            "panel read before its block was ensured"
+        );
+        let off = row * self.kc;
+        let len = self.r * self.kc;
+        // SAFETY: the block holding this panel is `ready` (caller
+        // contract, checked above in debug builds): its cells were
+        // release-published and are never written again.
+        unsafe { std::slice::from_raw_parts(self.cells[off..off + len].as_ptr() as *const T, len) }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::seeded_matrix;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn pack_rows_layout_and_padding() {
@@ -116,6 +347,25 @@ mod tests {
     }
 
     #[test]
+    fn packing_into_dirty_buffer_leaves_no_residue() {
+        // A reused arena buffer arrives full of stale junk; padding lanes
+        // must still come out zero.
+        let a = Matrix::from_fn(6, 3, |i, j| (10 * i + j) as f64);
+        let mut dirty = vec![9e9; packed_panel_len(5, 3, 4) + 7];
+        pack_rows(&mut dirty, &a, 1..6, 0..3, 4);
+        let mut fresh = Vec::new();
+        pack_rows(&mut fresh, &a, 1..6, 0..3, 4);
+        assert_eq!(dirty, fresh);
+
+        let b = Matrix::from_fn(5, 7, |i, j| (i * 7 + j) as f64);
+        let mut dirty = vec![-3.0; 2];
+        pack_cols(&mut dirty, &b, 1..4, 2..7, 4);
+        let mut fresh = Vec::new();
+        pack_cols(&mut fresh, &b, 1..4, 2..7, 4);
+        assert_eq!(dirty, fresh);
+    }
+
+    #[test]
     fn pack_cols_matches_pack_rows_of_transpose() {
         let b = Matrix::from_fn(5, 7, |i, j| (i * 7 + j) as f64);
         let bt = b.transpose();
@@ -133,5 +383,68 @@ mod tests {
         assert!(buf.is_empty());
         pack_cols(&mut buf, &a, 0..4, 3..3, 4);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn shared_pack_matches_direct_pack() {
+        let a = seeded_matrix::<f64>(23, 9, 77);
+        let mut direct = Vec::new();
+        pack_rows(&mut direct, &a, 0..23, 0..9, 4);
+
+        let mut buf = vec![0.0f64; packed_panel_len(23, 9, 4)];
+        let shared = SharedPack::new(&mut buf, 23, 9, 4, 8);
+        let pack = |rows: Range<usize>, dst: &mut [f64]| {
+            pack_rows_into(dst, &a, rows, 0..9, 4);
+        };
+        shared.ensure_rows(0..23, &pack);
+        for row in (0..23).step_by(4) {
+            let off = panel_offset(row, 9, 4);
+            assert_eq!(shared.panel(row), &direct[off..off + 4 * 9], "row {row}");
+        }
+    }
+
+    #[test]
+    fn shared_pack_publishes_each_block_once() {
+        let a = seeded_matrix::<f64>(64, 16, 5);
+        let mut buf = vec![0.0f64; packed_panel_len(64, 16, 4)];
+        let shared = SharedPack::new(&mut buf, 64, 16, 4, 16);
+        let packs = AtomicUsize::new(0);
+        let pack = |rows: Range<usize>, dst: &mut [f64]| {
+            packs.fetch_add(1, Ordering::Relaxed);
+            pack_rows_into(dst, &a, rows, 0..16, 4);
+        };
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    // Every thread demands every block, in clashing order.
+                    shared.ensure_rows(0..64, &pack);
+                    for row in (0..64).step_by(4) {
+                        assert_eq!(shared.panel(row).len(), 4 * 16);
+                    }
+                });
+            }
+        });
+        // 64 rows / 16-row blocks = 4 blocks, each packed exactly once
+        // despite 4 threads demanding all of them.
+        assert_eq!(packs.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn shared_pack_ragged_tail_block() {
+        // 21 rows, block_rows 8, r 4: blocks are 8/8/5 rows, the last
+        // padded to 8 lanes in its final panel.
+        let a = seeded_matrix::<f64>(21, 5, 6);
+        let mut direct = Vec::new();
+        pack_rows(&mut direct, &a, 0..21, 0..5, 4);
+        let mut buf = vec![7.7f64; packed_panel_len(21, 5, 4)];
+        let shared = SharedPack::new(&mut buf, 21, 5, 4, 8);
+        let pack = |rows: Range<usize>, dst: &mut [f64]| {
+            pack_rows_into(dst, &a, rows, 0..5, 4);
+        };
+        shared.ensure_rows(0..21, &pack);
+        for row in (0..21).step_by(4) {
+            let off = panel_offset(row, 5, 4);
+            assert_eq!(shared.panel(row), &direct[off..off + 4 * 5], "row {row}");
+        }
     }
 }

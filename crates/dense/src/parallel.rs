@@ -1,21 +1,72 @@
-//! Scoped worker-pool parallelism for the dense kernels.
+//! Work-stealing kernel runtime for the dense kernels.
 //!
 //! The workspace builds without external crates, so the rayon layer the
-//! kernels used to sit on is replaced by a small scoped pool: tasks are
-//! drained from a shared queue by `std::thread::scope` workers. Two knobs
-//! control the thread count:
+//! kernels used to sit on is replaced by an in-repo runtime. Earlier
+//! revisions drained one `Mutex<VecDeque>` shared by every worker, which
+//! serialized task handout exactly when the flop-balanced chunks of
+//! [`crate::schedule`] were supposed to scale; the current runtime uses
+//! **per-worker deques with work stealing**:
 //!
-//! * the `SYRK_NUM_THREADS` environment variable, and
+//! * tasks are dealt to per-worker deques up front (contiguous blocks,
+//!   so neighbouring chunks stay on one worker's cache),
+//! * each worker pops its own deque **LIFO** (newest first, cache-warm),
+//! * an idle worker picks a victim by an atomic round-robin counter and
+//!   steals **FIFO** (oldest first — the task its owner would reach
+//!   last, and the coarsest remaining granularity),
+//! * the caller participates as worker 0, so a `workers == 1` run stays
+//!   on the calling thread with no handoff at all.
+//!
+//! Tasks never spawn subtasks, so termination is simple: a worker exits
+//! after a full sweep finds every deque empty. Steal counts are flushed
+//! to [`crate::stats`] for the trace binary.
+//!
+//! Two knobs control the thread count:
+//!
+//! * the `SYRK_NUM_THREADS` environment variable (parsed **once** into a
+//!   `OnceLock` — it used to be re-read and re-parsed on every call from
+//!   the hot scheduling path), and
 //! * a process-wide budget set by [`limit_threads`], which the simulated
 //!   machine uses to split hardware threads fairly across its ranks
 //!   (each of `P` rank threads runs kernels with `available/P` workers
 //!   instead of oversubscribing `P × available`).
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Process-wide thread budget; 0 means "unset, use the hardware count".
 static THREAD_BUDGET: AtomicUsize = AtomicUsize::new(0);
+
+/// Parse a `SYRK_NUM_THREADS` value: a positive integer, or `None` for
+/// anything invalid (`0`, negatives, non-numeric) — the caller then falls
+/// back to the hardware count instead of propagating garbage.
+pub(crate) fn parse_thread_count(s: &str) -> Option<usize> {
+    s.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// The `SYRK_NUM_THREADS` override, read and parsed exactly once per
+/// process. [`available_threads`] sits on the scheduling hot path, and
+/// `std::env::var` + parse per call was measurable overhead; the
+/// environment of a running process is ours, so caching is safe.
+fn env_thread_override() -> Option<usize> {
+    static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("SYRK_NUM_THREADS")
+            .ok()
+            .as_deref()
+            .and_then(parse_thread_count)
+    })
+}
+
+/// The host's hardware thread count (what `std::thread` reports), before
+/// any budget or environment override. Bench metadata records this next
+/// to the *effective* [`available_threads`] so a thread-starved host is
+/// distinguishable from a capped run.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// Number of worker threads a kernel may use right now: the active
 /// [`limit_threads`] budget if one is set, else `SYRK_NUM_THREADS`, else
@@ -25,16 +76,10 @@ pub fn available_threads() -> usize {
     if budget != 0 {
         return budget;
     }
-    if let Some(n) = std::env::var("SYRK_NUM_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-    {
+    if let Some(n) = env_thread_override() {
         return n;
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    hardware_threads()
 }
 
 /// RAII guard restoring the previous thread budget on drop.
@@ -69,11 +114,57 @@ pub fn machine_thread_budget(p: usize) -> usize {
     (available_threads() / p.max(1)).max(1)
 }
 
-/// Run `f(index, task)` for every task, on up to [`available_threads`]
-/// scoped workers. Tasks are handed out in order from a shared queue, so
-/// early (typically larger) tasks start first; with one worker or one
-/// task everything runs inline on the caller's thread. Panics in workers
-/// propagate to the caller.
+/// Stealable-task oversubscription: chunks created per worker so thieves
+/// have granularity to balance with. ×4 keeps chunks large enough that
+/// per-chunk loop overhead stays negligible while a worker that finishes
+/// early still finds work to steal.
+pub const TASKS_PER_WORKER: usize = 4;
+
+/// How many flop-balanced chunks a driver should create for `workers`
+/// workers under the stealing runtime: oversubscribed by
+/// [`TASKS_PER_WORKER`] when parallel, a single chunk when serial (the
+/// inline path has nobody to steal from).
+pub fn steal_task_count(workers: usize) -> usize {
+    if workers > 1 {
+        workers * TASKS_PER_WORKER
+    } else {
+        1
+    }
+}
+
+/// One worker's end of the task pool: a deque the owner pops LIFO and
+/// thieves pop FIFO. A `Mutex<VecDeque>` per worker (instead of one
+/// global lock) keeps the common case — owner popping its own work —
+/// contention-free; steals are rare and touch one victim at a time.
+struct WorkerDeque<T> {
+    tasks: Mutex<VecDeque<(usize, T)>>,
+}
+
+impl<T> WorkerDeque<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<(usize, T)>> {
+        // A panicking worker never holds the lock across user code, so a
+        // poisoned mutex still guards a consistent deque.
+        self.tasks.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Owner path: newest task first.
+    fn pop_own(&self) -> Option<(usize, T)> {
+        self.lock().pop_back()
+    }
+
+    /// Thief path: oldest task first.
+    fn steal(&self) -> Option<(usize, T)> {
+        self.lock().pop_front()
+    }
+}
+
+/// Run `f(index, task)` for every task on up to [`available_threads`]
+/// work-stealing workers (the caller is worker 0). With one worker or
+/// one task everything runs inline on the caller's thread. Which worker
+/// runs which task is nondeterministic under stealing; callers must make
+/// task *results* placement-determined (disjoint `&mut` output chunks,
+/// fixed per-element accumulation order), which every kernel driver in
+/// this crate does. Panics in workers propagate to the caller.
 pub fn par_for_each_task<T, F>(tasks: Vec<T>, f: F)
 where
     T: Send,
@@ -86,19 +177,56 @@ where
         }
         return;
     }
-    let queue = Mutex::new(tasks.into_iter().enumerate());
+
+    // Deal contiguous blocks of tasks to the worker deques, pushed in
+    // reverse so the owner's LIFO pop walks its block front-to-back and
+    // a thief's FIFO steal takes the block's tail first.
+    let total = tasks.len();
+    let mut deques: Vec<WorkerDeque<T>> = (0..workers)
+        .map(|_| WorkerDeque {
+            tasks: Mutex::new(VecDeque::new()),
+        })
+        .collect();
+    for (i, t) in tasks.into_iter().enumerate().rev() {
+        let w = i * workers / total;
+        deques[w].tasks.get_mut().unwrap().push_back((i, t));
+    }
+    let deques = &deques;
+    let steal_hint = AtomicUsize::new(0);
+    let steal_hint = &steal_hint;
+    let f = &f;
+
+    let run_worker = move |me: usize| {
+        let mut steals = 0u64;
+        'work: loop {
+            // Drain own deque LIFO.
+            while let Some((i, t)) = deques[me].pop_own() {
+                f(i, t);
+            }
+            // Steal FIFO from a round-robin victim. Tasks never spawn
+            // subtasks, so a full empty sweep means the pool is drained.
+            let start = steal_hint.fetch_add(1, Ordering::Relaxed);
+            for off in 0..workers {
+                let victim = (start + off) % workers;
+                if victim == me {
+                    continue;
+                }
+                if let Some((i, t)) = deques[victim].steal() {
+                    steals += 1;
+                    f(i, t);
+                    continue 'work;
+                }
+            }
+            break;
+        }
+        crate::stats::add_steals(steals);
+    };
+
     std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| loop {
-                    let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
-                    match next {
-                        Some((i, t)) => f(i, t),
-                        None => break,
-                    }
-                })
-            })
+        let handles: Vec<_> = (1..workers)
+            .map(|w| s.spawn(move || run_worker(w)))
             .collect();
+        run_worker(0);
         // Join explicitly so a worker's panic payload reaches the caller
         // (scope's implicit join replaces it with a generic message).
         let mut first_panic = None;
@@ -140,6 +268,44 @@ mod tests {
     }
 
     #[test]
+    fn thread_env_parser_rejects_garbage() {
+        // Invalid values fall back to `None` (→ hardware count) instead
+        // of being silently re-parsed — and never panic.
+        for bad in [
+            "0",
+            "-3",
+            "abc",
+            "",
+            "  ",
+            "1.5",
+            "0x4",
+            "18446744073709551616",
+        ] {
+            assert_eq!(parse_thread_count(bad), None, "{bad:?} must be rejected");
+        }
+        assert_eq!(parse_thread_count("1"), Some(1));
+        assert_eq!(parse_thread_count(" 8 "), Some(8));
+    }
+
+    #[test]
+    fn env_override_is_cached() {
+        // Whatever the ambient environment, repeated reads must agree:
+        // the OnceLock answers every call after the first without
+        // touching the environment again.
+        let first = env_thread_override();
+        for _ in 0..100 {
+            assert_eq!(env_thread_override(), first);
+        }
+    }
+
+    #[test]
+    fn steal_task_count_scales_with_workers() {
+        assert_eq!(steal_task_count(1), 1);
+        assert_eq!(steal_task_count(2), 2 * TASKS_PER_WORKER);
+        assert_eq!(steal_task_count(8), 8 * TASKS_PER_WORKER);
+    }
+
+    #[test]
     fn par_for_each_runs_every_task_once() {
         let sum = AtomicU64::new(0);
         let tasks: Vec<u64> = (1..=100).collect();
@@ -148,6 +314,30 @@ mod tests {
             sum.fetch_add(t, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn par_for_each_runs_every_task_once_under_stealing() {
+        // Uneven task durations force steals; every index must still be
+        // executed exactly once.
+        let _g = limit_threads(4);
+        let counts: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        let tasks: Vec<usize> = (0..64).collect();
+        par_for_each_task(tasks, |i, t| {
+            assert_eq!(i, t);
+            if t % 7 == 0 {
+                // Skewed work so fast workers go stealing.
+                std::hint::black_box((0..20_000).sum::<u64>());
+            }
+            counts[t].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(
+                c.load(Ordering::Relaxed),
+                1,
+                "task {i} ran wrong number of times"
+            );
+        }
     }
 
     #[test]

@@ -29,6 +29,14 @@ pub trait Scalar:
     + MulAssign
     + Sum
 {
+    /// Whether the dual-panel wide (`2·MR × NR`) microkernel variant
+    /// pays off for this scalar. `f64` turns it on (eight 4-lane rows of
+    /// accumulator fit the register file and double the reuse of each
+    /// B-panel load); other scalars keep the plain `MR × NR` path. The
+    /// wide kernel is bitwise-identical per element to two narrow calls,
+    /// so this is purely a performance switch — results never depend on
+    /// it.
+    const WIDE_KERNEL: bool;
     /// Additive identity.
     fn zero() -> Self;
     /// Multiplicative identity.
@@ -46,8 +54,9 @@ pub trait Scalar:
 }
 
 macro_rules! impl_scalar {
-    ($t:ty) => {
+    ($t:ty, $wide:expr) => {
         impl Scalar for $t {
+            const WIDE_KERNEL: bool = $wide;
             #[inline(always)]
             fn zero() -> Self {
                 0.0
@@ -80,8 +89,8 @@ macro_rules! impl_scalar {
     };
 }
 
-impl_scalar!(f32);
-impl_scalar!(f64);
+impl_scalar!(f32, false);
+impl_scalar!(f64, true);
 
 #[cfg(test)]
 mod tests {

@@ -65,6 +65,23 @@ pub fn balanced_triangle_chunks(
     balanced_chunks_by_cost(&costs, parts, align)
 }
 
+/// Packed words a *per-chunk* packing strategy would copy for one
+/// `kc`-wide inner panel of a SYRK-shaped triangle split into `chunks`:
+/// the chunk covering rows `i..e` reads row micro-panels `0..e` of `A`
+/// (its own rows on the tile's row side plus every row below the
+/// diagonal bound on the column side), so packing privately it copies
+/// `e.div_ceil(r)·r·kc` words. Summed over chunks this overlaps heavily —
+/// the shared pack copies `packed_panel_len(n, kc, r)` words once, and
+/// the scaling bench reports the ratio (≈3× at 4 chunks, growing with
+/// the chunk count).
+pub fn per_chunk_pack_words(chunks: &[Range<usize>], kc: usize, r: usize) -> u64 {
+    let r = r.max(1);
+    chunks
+        .iter()
+        .map(|c| (c.end.div_ceil(r) * r * kc) as u64)
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +143,24 @@ mod tests {
         let chunks = balanced_triangle_chunks(3, Diag::Inclusive, 16, 4);
         check_tiling(&chunks, 3, 4);
         assert_eq!(chunks.len(), 1, "alignment collapses tiny splits");
+    }
+
+    #[test]
+    fn per_chunk_pack_model_exceeds_shared_pack() {
+        // n = k = 512, 4 balanced chunks: private per-chunk packing moves
+        // ≈3× the words of the one shared pack (chunk ends near n/2,
+        // n/√2, n·(3/4)^½… sum ≈ 3.07·n).
+        let n = 512usize;
+        let chunks = balanced_triangle_chunks(n, Diag::Inclusive, 4, 4);
+        let per_chunk = per_chunk_pack_words(&chunks, 256, 4);
+        let shared = (n.div_ceil(4) * 4 * 256) as u64;
+        assert!(
+            per_chunk as f64 >= 1.8 * shared as f64,
+            "per-chunk {per_chunk} vs shared {shared}"
+        );
+        // One chunk degenerates to the shared cost.
+        let one = per_chunk_pack_words(std::slice::from_ref(&(0..n)), 256, 4);
+        assert_eq!(one, shared);
     }
 
     #[test]

@@ -2,10 +2,14 @@
 //!
 //! The distributed algorithms meter *communication* through the machine's
 //! cost ledger; these counters meter the *local* engine underneath — how
-//! many words the packing routines staged into micro-panels and how many
-//! register-blocked microkernel tiles ran. The `trace` binary reports
-//! them next to the per-phase communication table so one run shows both
-//! sides of the α-β-γ model (network words and γ-side kernel work).
+//! many words the packing routines staged into micro-panels, how many
+//! register-blocked microkernel tiles ran, how the workspace arena is
+//! behaving (buffer reuse vs fresh allocation), and how often the
+//! work-stealing runtime had to migrate a task. The `trace` binary
+//! reports them next to the per-phase communication table so one run
+//! shows both sides of the α-β-γ model (network words and γ-side kernel
+//! work), and the scaling bench uses the arena counters to prove the
+//! steady state allocates nothing.
 //!
 //! Counters are relaxed atomics: kernels accumulate locally per task and
 //! flush once, so the hot loops see no contention. They are cumulative
@@ -16,14 +20,29 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static PACK_WORDS: AtomicU64 = AtomicU64::new(0);
 static MICROKERNEL_CALLS: AtomicU64 = AtomicU64::new(0);
+static ARENA_HITS: AtomicU64 = AtomicU64::new(0);
+static ARENA_MISSES: AtomicU64 = AtomicU64::new(0);
+static ARENA_ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static STEALS: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of the kernel-engine counters (see [`kernel_stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Words copied into packed micro-panel buffers (A- and B-side).
     pub pack_words: u64,
-    /// Register-blocked `MR × NR` microkernel invocations.
+    /// Register-blocked `MR × NR` microkernel invocations (a dual-panel
+    /// wide call counts as two: it produces two tiles).
     pub microkernel_calls: u64,
+    /// Workspace-arena checkouts satisfied by a cached buffer.
+    pub arena_hits: u64,
+    /// Workspace-arena checkouts that had to create a fresh buffer.
+    pub arena_misses: u64,
+    /// Bytes of backing storage newly allocated (or grown) by the arena.
+    /// Zero over a region means the packed-panel working set ran entirely
+    /// out of reused buffers — the steady state the arena exists for.
+    pub arena_alloc_bytes: u64,
+    /// Tasks executed by a worker other than the one they were dealt to.
+    pub steals: u64,
 }
 
 impl KernelStats {
@@ -35,6 +54,12 @@ impl KernelStats {
             microkernel_calls: self
                 .microkernel_calls
                 .saturating_sub(earlier.microkernel_calls),
+            arena_hits: self.arena_hits.saturating_sub(earlier.arena_hits),
+            arena_misses: self.arena_misses.saturating_sub(earlier.arena_misses),
+            arena_alloc_bytes: self
+                .arena_alloc_bytes
+                .saturating_sub(earlier.arena_alloc_bytes),
+            steals: self.steals.saturating_sub(earlier.steals),
         }
     }
 }
@@ -44,6 +69,10 @@ pub fn kernel_stats() -> KernelStats {
     KernelStats {
         pack_words: PACK_WORDS.load(Ordering::Relaxed),
         microkernel_calls: MICROKERNEL_CALLS.load(Ordering::Relaxed),
+        arena_hits: ARENA_HITS.load(Ordering::Relaxed),
+        arena_misses: ARENA_MISSES.load(Ordering::Relaxed),
+        arena_alloc_bytes: ARENA_ALLOC_BYTES.load(Ordering::Relaxed),
+        steals: STEALS.load(Ordering::Relaxed),
     }
 }
 
@@ -51,6 +80,10 @@ pub fn kernel_stats() -> KernelStats {
 pub fn reset_kernel_stats() {
     PACK_WORDS.store(0, Ordering::Relaxed);
     MICROKERNEL_CALLS.store(0, Ordering::Relaxed);
+    ARENA_HITS.store(0, Ordering::Relaxed);
+    ARENA_MISSES.store(0, Ordering::Relaxed);
+    ARENA_ALLOC_BYTES.store(0, Ordering::Relaxed);
+    STEALS.store(0, Ordering::Relaxed);
 }
 
 pub(crate) fn add_pack_words(n: usize) {
@@ -59,6 +92,24 @@ pub(crate) fn add_pack_words(n: usize) {
 
 pub(crate) fn add_microkernel_calls(n: u64) {
     MICROKERNEL_CALLS.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn add_arena_hit() {
+    ARENA_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn add_arena_miss() {
+    ARENA_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn add_arena_alloc_bytes(n: usize) {
+    ARENA_ALLOC_BYTES.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn add_steals(n: u64) {
+    if n != 0 {
+        STEALS.fetch_add(n, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -72,10 +123,18 @@ mod tests {
         let before = kernel_stats();
         add_pack_words(128);
         add_microkernel_calls(3);
+        add_arena_hit();
+        add_arena_miss();
+        add_arena_alloc_bytes(4096);
+        add_steals(2);
         let after = kernel_stats();
         let delta = after.since(&before);
         assert!(delta.pack_words >= 128);
         assert!(delta.microkernel_calls >= 3);
+        assert!(delta.arena_hits >= 1);
+        assert!(delta.arena_misses >= 1);
+        assert!(delta.arena_alloc_bytes >= 4096);
+        assert!(delta.steals >= 2);
     }
 
     #[test]
@@ -83,13 +142,23 @@ mod tests {
         let a = KernelStats {
             pack_words: 1,
             microkernel_calls: 1,
+            arena_hits: 0,
+            arena_misses: 0,
+            arena_alloc_bytes: 0,
+            steals: 0,
         };
         let b = KernelStats {
             pack_words: 5,
             microkernel_calls: 5,
+            arena_hits: 7,
+            arena_misses: 7,
+            arena_alloc_bytes: 7,
+            steals: 7,
         };
         let d = a.since(&b);
         assert_eq!(d.pack_words, 0);
         assert_eq!(d.microkernel_calls, 0);
+        assert_eq!(d.arena_hits, 0);
+        assert_eq!(d.arena_alloc_bytes, 0);
     }
 }

@@ -40,8 +40,11 @@ pub fn syr2k_lower_ref<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T
 
 /// Packed SYR2K: accumulate the lower triangle of `A·Bᵀ + B·Aᵀ` into
 /// packed storage, via the register-blocked driver shared with
-/// [`crate::syrk_packed`] (two microkernel calls per register tile, fused
-/// before the store).
+/// [`crate::syrk_packed`]: both operands are full-height shared packs
+/// published cooperatively across the work-stealing workers, and each
+/// register tile fuses two (narrow) microkernel calls before the store —
+/// the dual-panel wide path stays off here because the fused tile
+/// already consumes the extra register pressure.
 pub fn syr2k_packed<T: Scalar>(c: &mut PackedLower<T>, a: &Matrix<T>, b: &Matrix<T>) {
     crate::syrk::packed_rank_update(c, a, Some(b));
 }

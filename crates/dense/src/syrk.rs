@@ -7,18 +7,25 @@
 //! `2n²k`.
 //!
 //! The packed kernel shares the register-blocked machinery of
-//! [`crate::microkernel`]: per `KC`-wide panel of `A`, *one* k-major pack
-//! of all rows serves both sides of the product (possible because
-//! `MR == NR`), and threads work on flop-balanced row chunks of the
-//! packed triangle (see [`crate::schedule`] — row `i` costs `Θ(i·k)`,
-//! so an even row split would be badly skewed). Diagonal register tiles
-//! are computed in full and stored clamped to `j ≤ i` (or `j < i`).
+//! [`crate::microkernel`]: per `KC`-wide panel of `A`, *one* k-major
+//! [`SharedPack`] of all rows serves both sides of the product (possible
+//! because `MR == NR`) **across every worker** — `MC`-row blocks are
+//! packed cooperatively, each exactly once behind a publication flag,
+//! instead of serially by the caller or redundantly per chunk. Threads
+//! work-steal flop-balanced row chunks of the packed triangle (see
+//! [`crate::schedule`] — row `i` costs `Θ(i·k)`, so an even row split
+//! would be badly skewed), pulling pack buffers from the workspace
+//! [`crate::arena`] so the steady state allocates nothing. Diagonal
+//! register tiles are computed in full and stored clamped to `j ≤ i`
+//! (or `j < i`); f64 uses the dual-panel wide microkernel away from
+//! chunk tails.
 
+use crate::arena;
 use crate::matrix::Matrix;
-use crate::microkernel::{acc_add, microkernel, MR, NR};
-use crate::pack::{pack_rows, panel_offset};
+use crate::microkernel::{acc_add, microkernel, microkernel_wide, Acc, MR, NR};
+use crate::pack::{pack_rows_into, packed_panel_len, SharedPack};
 use crate::packed::{Diag, PackedLower};
-use crate::parallel::{available_threads, par_for_each_task};
+use crate::parallel::{available_threads, par_for_each_task, steal_task_count};
 use crate::scalar::Scalar;
 use crate::schedule::balanced_triangle_chunks;
 use std::ops::Range;
@@ -70,10 +77,41 @@ fn row_end(diag: Diag, i: usize) -> usize {
     }
 }
 
+/// Add `acc`'s leading `rr` rows into the packed chunk slice `cbuf`
+/// (whose first element is packed offset `base`), clamping each row to
+/// its `diag` column bound.
+#[inline]
+fn store_packed_tile<T: Scalar>(
+    diag: Diag,
+    base: usize,
+    cbuf: &mut [T],
+    acc: &Acc<T>,
+    it: usize,
+    rr: usize,
+    j0: usize,
+) {
+    // Store row by row: packed rows are contiguous, and tiles straddling
+    // the diagonal clamp to the row's column bound.
+    for (u, arow) in acc.iter().enumerate().take(rr) {
+        let i = it + u;
+        let jend = (j0 + NR).min(row_end(diag, i));
+        if jend <= j0 {
+            continue;
+        }
+        let off = row_off(diag, i) - base + j0;
+        let dst = &mut cbuf[off..off + jend - j0];
+        for (d, &v) in dst.iter_mut().zip(arow.iter()) {
+            *d += v;
+        }
+    }
+}
+
 /// Shared packed-triangle driver for SYRK (`b = None`, `C += A·Aᵀ`) and
 /// SYR2K (`b = Some`, `C += A·Bᵀ + B·Aᵀ`). `KC`-panel loop outside,
-/// flop-balanced parallel row chunks inside; every packed entry is
-/// accumulated in ascending-k order independent of the chunking.
+/// flop-balanced work-stolen row chunks inside; every packed entry is
+/// accumulated in ascending-k order independent of the chunking, and
+/// each `MC`-row block of the shared pack is packed exactly once per
+/// panel by whichever worker first needs it.
 pub(crate) fn packed_rank_update<T: Scalar>(
     c: &mut PackedLower<T>,
     a: &Matrix<T>,
@@ -92,63 +130,84 @@ pub(crate) fn packed_rank_update<T: Scalar>(
         return;
     }
     let diag = c.diag();
-    let chunks = balanced_triangle_chunks(n, diag, available_threads(), MR);
-    let mut apack = Vec::new();
-    let mut bpack = Vec::new();
+    let workers = available_threads();
+    // Oversubscribe chunks so idle workers always find something to
+    // steal; the chunk a tile lands in never affects its value.
+    let chunks = balanced_triangle_chunks(n, diag, steal_task_count(workers), MR);
+    let kc_cap = crate::gemm::KC.min(k);
+    let mut apack = arena::acquire::<T>(packed_panel_len(n, kc_cap, MR));
+    let mut bpack = b.map(|_| arena::acquire::<T>(packed_panel_len(n, kc_cap, MR)));
     for p0 in (0..k).step_by(crate::gemm::KC) {
         let pb = crate::gemm::KC.min(k - p0);
-        // One full-height pack serves the row side and the column side
-        // of every register tile (MR == NR).
-        pack_rows(&mut apack, a, 0..n, p0..p0 + pb, MR);
-        if let Some(b) = b {
-            pack_rows(&mut bpack, b, 0..n, p0..p0 + pb, MR);
-        }
+        let cols = p0..p0 + pb;
+        // One full-height shared pack serves the row side and the column
+        // side of every register tile (MR == NR) for *all* workers;
+        // MC-row blocks publish once on first demand.
+        let ashared = SharedPack::new(
+            apack.resized(packed_panel_len(n, pb, MR)),
+            n,
+            pb,
+            MR,
+            crate::gemm::MC,
+        );
+        let bshared = bpack.as_mut().map(|bb| {
+            SharedPack::new(
+                bb.resized(packed_panel_len(n, pb, MR)),
+                n,
+                pb,
+                MR,
+                crate::gemm::MC,
+            )
+        });
+        let pack_a = |rows: Range<usize>, dst: &mut [T]| {
+            pack_rows_into(dst, a, rows, cols.clone(), MR);
+        };
+        let pack_b = |rows: Range<usize>, dst: &mut [T]| {
+            pack_rows_into(dst, b.expect("bshared implies b"), rows, cols.clone(), MR);
+        };
         let tasks = split_triangle(c, &chunks);
         par_for_each_task(tasks, |_, (rows, cbuf)| {
             let base = row_off(diag, rows.start);
             let mut tiles = 0u64;
-            for it in (rows.start..rows.end).step_by(MR) {
-                let rr = MR.min(rows.end - it);
-                let colmax = row_end(diag, it + rr - 1);
-                for j0 in (0..colmax).step_by(NR) {
-                    let acc = if b.is_some() {
-                        // A·Bᵀ tile plus B·Aᵀ tile, fused before the store.
-                        let ab = microkernel(
-                            pb,
-                            &apack[panel_offset(it, pb, MR)..],
-                            &bpack[panel_offset(j0, pb, NR)..],
-                        );
-                        let ba = microkernel(
-                            pb,
-                            &bpack[panel_offset(it, pb, MR)..],
-                            &apack[panel_offset(j0, pb, NR)..],
-                        );
+            let mut it = rows.start;
+            while it < rows.end {
+                // Dual-panel wide tiles away from the chunk tail; SYR2K
+                // keeps the narrow path (its tile fuses two products).
+                let wide = T::WIDE_KERNEL && b.is_none() && it + 2 * MR <= rows.end;
+                let take = if wide { 2 * MR } else { MR.min(rows.end - it) };
+                let colmax = row_end(diag, it + take - 1);
+                ashared.ensure_rows(it..it + take, &pack_a);
+                ashared.ensure_rows(0..colmax, &pack_a);
+                if let Some(bs) = &bshared {
+                    bs.ensure_rows(it..it + take, &pack_b);
+                    bs.ensure_rows(0..colmax, &pack_b);
+                }
+                if wide {
+                    let ap0 = ashared.panel(it);
+                    let ap1 = ashared.panel(it + MR);
+                    for j0 in (0..colmax).step_by(NR) {
+                        let (acc0, acc1) = microkernel_wide(pb, ap0, ap1, ashared.panel(j0));
                         tiles += 2;
-                        acc_add(&ab, &ba)
-                    } else {
-                        tiles += 1;
-                        microkernel(
-                            pb,
-                            &apack[panel_offset(it, pb, MR)..],
-                            &apack[panel_offset(j0, pb, NR)..],
-                        )
-                    };
-                    // Store row by row: packed rows are contiguous, and
-                    // tiles straddling the diagonal clamp to the row's
-                    // column bound.
-                    for (u, arow) in acc.iter().enumerate().take(rr) {
-                        let i = it + u;
-                        let jend = (j0 + NR).min(row_end(diag, i));
-                        if jend <= j0 {
-                            continue;
-                        }
-                        let off = row_off(diag, i) - base + j0;
-                        let dst = &mut cbuf[off..off + jend - j0];
-                        for (d, &v) in dst.iter_mut().zip(arow.iter()) {
-                            *d += v;
-                        }
+                        store_packed_tile(diag, base, cbuf, &acc0, it, MR, j0);
+                        store_packed_tile(diag, base, cbuf, &acc1, it + MR, MR, j0);
+                    }
+                } else {
+                    for j0 in (0..colmax).step_by(NR) {
+                        let acc = if let Some(bs) = &bshared {
+                            // A·Bᵀ tile plus B·Aᵀ tile, fused before the
+                            // store.
+                            let ab = microkernel(pb, ashared.panel(it), bs.panel(j0));
+                            let ba = microkernel(pb, bs.panel(it), ashared.panel(j0));
+                            tiles += 2;
+                            acc_add(&ab, &ba)
+                        } else {
+                            tiles += 1;
+                            microkernel(pb, ashared.panel(it), ashared.panel(j0))
+                        };
+                        store_packed_tile(diag, base, cbuf, &acc, it, take, j0);
                     }
                 }
+                it += take;
             }
             crate::stats::add_microkernel_calls(tiles);
         });

@@ -1,0 +1,187 @@
+//! End-to-end tests of the work-stealing kernel runtime: thread-budget
+//! nesting, bitwise determinism of every parallel kernel across thread
+//! counts (the chunking, the steal schedule, and the wide/narrow kernel
+//! choice must all be invisible in the results), and the arena's
+//! zero-allocation steady state.
+//!
+//! The thread budget and the arena counters are process-global, and the
+//! test harness runs tests on concurrent threads, so every test
+//! serializes on one mutex: assertions about budget values or counter
+//! deltas would otherwise race.
+
+use std::sync::{Mutex, MutexGuard};
+use syrk_dense::{
+    available_threads, cholesky, kernel_stats, limit_threads, mul_nn, mul_nt, seeded_matrix,
+    syr2k_packed_new, syrk_full_reference, syrk_packed_new, Diag, Matrix,
+};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Ragged edge cases around the register tile (MR = 4) plus shapes that
+/// span MC/KC block boundaries.
+const SIZES: [usize; 6] = [1, 4, 5, 64, 257, 13];
+
+#[test]
+fn budget_guard_nesting_restores_in_order() {
+    let _s = serial();
+    let ambient = available_threads();
+    {
+        let _outer = limit_threads(5);
+        assert_eq!(available_threads(), 5);
+        {
+            let _inner = limit_threads(2);
+            assert_eq!(available_threads(), 2);
+            {
+                let _innermost = limit_threads(7);
+                assert_eq!(available_threads(), 7);
+            }
+            assert_eq!(available_threads(), 2, "innermost guard restores");
+        }
+        assert_eq!(available_threads(), 5, "inner guard restores");
+    }
+    assert_eq!(available_threads(), ambient, "outer guard restores");
+}
+
+#[test]
+fn syrk_bitwise_identical_across_thread_counts() {
+    let _s = serial();
+    for &n in &SIZES {
+        for &k in &[1usize, 5, 64, 257] {
+            let a = seeded_matrix::<f64>(n, k, (31 * n + k) as u64);
+            for diag in [Diag::Inclusive, Diag::Strict] {
+                let baseline = {
+                    let _g = limit_threads(1);
+                    syrk_packed_new(&a, diag)
+                };
+                for threads in [2usize, 4] {
+                    let _g = limit_threads(threads);
+                    let got = syrk_packed_new(&a, diag);
+                    assert_eq!(
+                        got, baseline,
+                        "syrk n={n} k={k} {diag:?} diverged at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn gemm_bitwise_identical_across_thread_counts() {
+    let _s = serial();
+    for &(m, n, k) in &[
+        (1usize, 1usize, 1usize),
+        (5, 7, 5),
+        (64, 64, 64),
+        (257, 65, 129),
+    ] {
+        let a = seeded_matrix::<f64>(m, k, 3 * m as u64 + 1);
+        let b = seeded_matrix::<f64>(n, k, 5 * n as u64 + 2);
+        let bt = b.transpose();
+        let (base_nt, base_nn) = {
+            let _g = limit_threads(1);
+            (mul_nt(&a, &b), mul_nn(&a, &bt))
+        };
+        for threads in [2usize, 4] {
+            let _g = limit_threads(threads);
+            assert_eq!(
+                mul_nt(&a, &b),
+                base_nt,
+                "gemm_nt {m}x{n}x{k} at {threads} threads"
+            );
+            assert_eq!(
+                mul_nn(&a, &bt),
+                base_nn,
+                "gemm_nn {m}x{n}x{k} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn syr2k_bitwise_identical_across_thread_counts() {
+    let _s = serial();
+    let (n, k) = (101usize, 67usize);
+    let a = seeded_matrix::<f64>(n, k, 17);
+    let b = seeded_matrix::<f64>(n, k, 18);
+    let baseline = {
+        let _g = limit_threads(1);
+        syr2k_packed_new(&a, &b, Diag::Inclusive)
+    };
+    for threads in [2usize, 4] {
+        let _g = limit_threads(threads);
+        assert_eq!(
+            syr2k_packed_new(&a, &b, Diag::Inclusive),
+            baseline,
+            "syr2k diverged at {threads} threads"
+        );
+    }
+}
+
+/// A random SPD matrix: G = A·Aᵀ + n·I.
+fn spd(n: usize, seed: u64) -> Matrix<f64> {
+    let a = seeded_matrix::<f64>(n, n, seed);
+    let mut g = syrk_full_reference(&a);
+    for i in 0..n {
+        g[(i, i)] += n as f64;
+    }
+    g
+}
+
+#[test]
+fn cholesky_bitwise_identical_across_thread_counts() {
+    let _s = serial();
+    // n > 2 panel blocks with a ragged tail exercises the parallel
+    // trailing update (wide + narrow paths).
+    let g = spd(257, 7);
+    let baseline = {
+        let _g = limit_threads(1);
+        cholesky(&g).expect("SPD must factor")
+    };
+    for threads in [2usize, 4] {
+        let _g2 = limit_threads(threads);
+        let got = cholesky(&g).expect("SPD must factor");
+        assert_eq!(got, baseline, "cholesky diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn repeated_stolen_runs_are_identical() {
+    let _s = serial();
+    // Same budget, four runs: the steal schedule differs run to run, the
+    // bits must not.
+    let a = seeded_matrix::<f64>(157, 93, 23);
+    let _g = limit_threads(4);
+    let first = syrk_packed_new(&a, Diag::Inclusive);
+    for run in 1..4 {
+        assert_eq!(
+            syrk_packed_new(&a, Diag::Inclusive),
+            first,
+            "run {run} diverged under identical budget"
+        );
+    }
+}
+
+#[test]
+fn arena_steady_state_allocates_nothing() {
+    let _s = serial();
+    let a = seeded_matrix::<f64>(130, 300, 41);
+    let _g = limit_threads(2);
+    // Warm-up run populates the arena (its buffers return to the pool
+    // when the workers exit).
+    let warm = syrk_packed_new(&a, Diag::Inclusive);
+    let before = kernel_stats();
+    let again = syrk_packed_new(&a, Diag::Inclusive);
+    let d = kernel_stats().since(&before);
+    assert_eq!(again, warm);
+    assert_eq!(
+        d.arena_alloc_bytes, 0,
+        "second identical kernel call must reuse every pack buffer"
+    );
+    assert_eq!(d.arena_misses, 0, "steady state must not miss the arena");
+    assert!(d.arena_hits >= 1, "steady state must hit the arena");
+}
