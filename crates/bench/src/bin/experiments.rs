@@ -29,10 +29,10 @@ fn main() {
     } else {
         let known: Vec<&str> = all.iter().map(|e| e.slug).collect();
         for a in &args {
-            assert!(
-                known.contains(&a.as_str()),
-                "unknown experiment '{a}'; try `experiments list`"
-            );
+            if !known.contains(&a.as_str()) {
+                eprintln!("experiments: unknown experiment '{a}'; try `experiments list`");
+                std::process::exit(2);
+            }
         }
         all.iter()
             .filter(|e| args.contains(&e.slug.to_string()))
@@ -47,7 +47,10 @@ fn main() {
         for (idx, table) in (e.run)().iter().enumerate() {
             print!("{}", table.render());
             let slug = format!("{}_{}", e.slug, idx);
-            table.write_csv(&csv_dir, &slug).expect("writing CSV");
+            if let Err(err) = table.write_csv(&csv_dir, &slug) {
+                eprintln!("experiments: cannot write CSV for {slug}: {err}");
+                std::process::exit(1);
+            }
             println!();
         }
         println!("({} finished in {:.2?})\n", e.slug, t0.elapsed());

@@ -13,18 +13,20 @@ fn main() {
     let args: Vec<usize> = std::env::args()
         .skip(1)
         .map(|a| {
-            a.parse()
-                .unwrap_or_else(|_| panic!("'{a}' is not a positive integer"))
+            a.parse().unwrap_or_else(|_| {
+                eprintln!("plan: '{a}' is not a positive integer");
+                std::process::exit(2);
+            })
         })
         .collect();
     let [n1, n2, p] = args[..] else {
         eprintln!("usage: plan <n1> <n2> <P>");
         std::process::exit(2);
     };
-    assert!(
-        n1 >= 2 && n2 >= 1 && p >= 1,
-        "need n1 >= 2, n2 >= 1, P >= 1"
-    );
+    if n1 < 2 || n2 < 1 || p < 1 {
+        eprintln!("plan: need n1 >= 2, n2 >= 1, P >= 1");
+        std::process::exit(2);
+    }
 
     let bound = syrk_lower_bound(n1, n2, p);
     println!("SYRK C = A·Aᵀ, A {n1}×{n2}, budget P = {p}");

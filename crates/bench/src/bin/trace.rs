@@ -17,19 +17,25 @@
 
 use syrk_bench::timing::format_time;
 use syrk_core::{
-    attribute_bounds, plan, syrk_1d_traced, syrk_2d_traced, syrk_3d_traced, Plan, SyrkRunResult,
+    attribute_bounds, plan, try_syrk_1d_traced, try_syrk_2d_traced, try_syrk_3d_traced, Plan,
+    SyrkError, SyrkRunResult,
 };
 use syrk_dense::{kernel_stats, seeded_matrix, Matrix};
-use syrk_machine::{chrome_trace_json, timelines_csv, CostModel, EventKind, Timeline};
+use syrk_machine::{chrome_trace_json, timelines_csv, CostModel, EventKind, FaultPlan, Timeline};
 
 const USAGE: &str = "\
-usage: trace [mode] [shape]
+usage: trace [mode] [shape] [--faults SPEC]
   trace                  2D at the default shape (36, 8, c = 3)
   trace 1d [n1 n2 p]     Algorithm 1 (defaults 36 8 4)
   trace 2d [n1 n2 c]     Algorithm 2 (defaults 36 8 3)
   trace 3d [n1 n2 c p2]  Algorithm 3 (defaults 36 24 3 2)
   trace plan [n1 n2 P]   the planner's pick for a P-rank budget (defaults 36 8 12)
-shape arguments are positive integers";
+shape arguments are positive integers
+
+  --faults SPEC          inject deterministic transport faults and print the
+                         retry phase table. SPEC is comma-separated key=value:
+                         seed=N drop=p dup=p delay=p skew=s corrupt=p retries=n
+                         (probabilities in [0,1]); e.g. --faults seed=7,drop=0.2";
 
 fn usage_exit() -> ! {
     eprintln!("{USAGE}");
@@ -49,8 +55,86 @@ fn parse_shape(args: &[String]) -> Vec<usize> {
         .collect()
 }
 
+/// Parse a `--faults` spec (`seed=7,drop=0.2,...`) or exit with usage.
+fn parse_faults(spec: &str) -> FaultPlan {
+    let mut seed = 0u64;
+    let mut fields: Vec<(&str, f64)> = Vec::new();
+    for item in spec.split(',').filter(|s| !s.is_empty()) {
+        let bad = |what: &str| -> ! {
+            eprintln!("trace: bad --faults item {item:?} ({what})\n");
+            usage_exit()
+        };
+        let Some((key, value)) = item.split_once('=') else {
+            bad("want key=value");
+        };
+        match key {
+            "seed" => match value.parse::<u64>() {
+                Ok(n) => seed = n,
+                Err(_) => bad("seed wants an unsigned integer"),
+            },
+            "drop" | "dup" | "delay" | "corrupt" => match value.parse::<f64>() {
+                Ok(p) if (0.0..=1.0).contains(&p) => fields.push((key, p)),
+                _ => bad("probability must be in [0, 1]"),
+            },
+            "skew" => match value.parse::<f64>() {
+                Ok(s) if s >= 0.0 => fields.push((key, s)),
+                _ => bad("skew must be non-negative"),
+            },
+            "retries" => match value.parse::<u32>() {
+                Ok(n) => fields.push((key, f64::from(n))),
+                Err(_) => bad("retries wants an unsigned integer"),
+            },
+            _ => bad("unknown key"),
+        }
+    }
+    let get = |key: &str| {
+        fields
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+    };
+    let mut plan = FaultPlan::seeded(seed);
+    if let Some(p) = get("drop") {
+        plan = plan.drop(p);
+    }
+    if let Some(p) = get("dup") {
+        plan = plan.duplicate(p);
+    }
+    if let Some(p) = get("delay") {
+        plan = plan.delay(p, get("skew").unwrap_or(1.0));
+    }
+    if let Some(p) = get("corrupt") {
+        plan = plan.corrupt(p);
+    }
+    if let Some(n) = get("retries") {
+        plan = plan.retries(n as u32);
+    }
+    plan
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Extract --faults SPEC / --faults=SPEC before positional parsing.
+    let mut faults: Option<FaultPlan> = None;
+    if let Some(i) = args
+        .iter()
+        .position(|a| a == "--faults" || a.starts_with("--faults="))
+    {
+        let spec = if let Some(s) = args[i].strip_prefix("--faults=") {
+            let s = s.to_string();
+            args.remove(i);
+            s
+        } else {
+            args.remove(i);
+            if i >= args.len() {
+                eprintln!("trace: --faults needs a spec argument\n");
+                usage_exit()
+            }
+            args.remove(i)
+        };
+        faults = Some(parse_faults(&spec));
+    }
     let (mode, rest) = match args.split_first() {
         None => (String::from("2d"), &args[..]),
         Some((m, rest)) => (m.to_ascii_lowercase(), rest),
@@ -84,11 +168,20 @@ fn main() {
 
     let kernels_before = kernel_stats();
     let wall = std::time::Instant::now();
-    let (run, traces) = run_traced(&a, the_plan, model);
+    let (run, traces) = match run_traced(&a, the_plan, model, faults.as_ref()) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("trace: run failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let wall = wall.elapsed().as_secs_f64();
     let kernels = kernel_stats().since(&kernels_before);
 
     report(label, n1, n2, the_plan, &run, &traces);
+    if let Some(plan) = &faults {
+        report_faults(plan, &run);
+    }
 
     let total_flops: u64 = run.cost.ranks.iter().map(|r| r.flops).sum();
     println!(
@@ -128,11 +221,49 @@ fn main() {
 }
 
 /// Dispatch the traced run for a plan.
-fn run_traced(a: &Matrix<f64>, plan: Plan, model: CostModel) -> (SyrkRunResult, Vec<Timeline>) {
+fn run_traced(
+    a: &Matrix<f64>,
+    plan: Plan,
+    model: CostModel,
+    faults: Option<&FaultPlan>,
+) -> Result<(SyrkRunResult, Vec<Timeline>), SyrkError> {
     match plan {
-        Plan::OneD { p } => syrk_1d_traced(a, p, model),
-        Plan::TwoD { c } => syrk_2d_traced(a, c, model),
-        Plan::ThreeD { c, p2 } => syrk_3d_traced(a, c, p2, model),
+        Plan::OneD { p } => try_syrk_1d_traced(a, p, model, faults),
+        Plan::TwoD { c } => try_syrk_2d_traced(a, c, model, faults),
+        Plan::ThreeD { c, p2 } => try_syrk_3d_traced(a, c, p2, model, faults),
+    }
+}
+
+/// The retry phase table: traffic the fault plan caused, which is paid
+/// for in the ledger but sits outside the Theorem 1 bound terms. Sent and
+/// received words are summed because drops charge the sender while
+/// detected duplicates/corruptions charge the receiver.
+fn report_faults(plan: &FaultPlan, run: &SyrkRunResult) {
+    println!("\nfault injection (seed {}): retry traffic", plan.seed());
+    let retry: Vec<&str> = run
+        .cost
+        .phase_names()
+        .into_iter()
+        .filter(|n| n.starts_with("retry:"))
+        .collect();
+    if retry.is_empty() {
+        println!("  (no message was faulted under this plan)");
+        return;
+    }
+    println!(
+        "  {:<20} {:>12} {:>12} {:>10}",
+        "phase", "tot words", "tot msgs", "max clock"
+    );
+    for name in retry {
+        let (mut words, mut msgs, mut clock) = (0u64, 0u64, 0f64);
+        for rank in 0..run.cost.num_ranks() {
+            if let Some(c) = run.cost.phase_cost(rank, name) {
+                words += c.words_sent + c.words_recv;
+                msgs += c.msgs_sent + c.msgs_recv;
+                clock = clock.max(c.clock);
+            }
+        }
+        println!("  {name:<20} {words:>12} {msgs:>12} {clock:>10.3e}");
     }
 }
 

@@ -13,10 +13,12 @@ use syrk_dense::{
     limit_threads, machine_thread_budget, syrk_flops, syrk_packed_new, Diag, Matrix, PackedLower,
     Partition1D,
 };
-use syrk_machine::{CostModel, Machine, ReduceScatterAlg, Timeline};
+use syrk_machine::{CostModel, FaultPlan, Machine, ReduceScatterAlg, Timeline};
 
 use super::common::SyrkRunResult;
 use crate::attribution::{PHASE_LOCAL_SYRK, PHASE_REDUCE_SCATTER_C};
+use crate::error::SyrkError;
+use crate::planner::PlanError;
 
 /// Run Algorithm 1 on a simulated machine with `p` ranks.
 ///
@@ -37,7 +39,31 @@ pub fn syrk_1d_with(
     model: CostModel,
     rs_alg: ReduceScatterAlg,
 ) -> SyrkRunResult {
-    syrk_1d_impl(a, p, model, rs_alg, false).0
+    match syrk_1d_impl(a, p, model, rs_alg, false, None) {
+        Ok((run, _)) => run,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`syrk_1d`]: invalid configurations and machine
+/// failures (crash, deadlock, …) surface as [`SyrkError`] instead of
+/// panicking. An optional [`FaultPlan`] injects deterministic transport
+/// faults into the run.
+pub fn try_syrk_1d(
+    a: &Matrix<f64>,
+    p: usize,
+    model: CostModel,
+    faults: Option<&FaultPlan>,
+) -> Result<SyrkRunResult, SyrkError> {
+    syrk_1d_impl(
+        a,
+        p,
+        model,
+        ReduceScatterAlg::PairwiseExchange,
+        false,
+        faults,
+    )
+    .map(|(run, _)| run)
 }
 
 /// Algorithm 1 with event tracing enabled: returns the run result plus
@@ -47,8 +73,25 @@ pub fn syrk_1d_traced(
     p: usize,
     model: CostModel,
 ) -> (SyrkRunResult, Vec<Timeline>) {
-    let (run, traces) = syrk_1d_impl(a, p, model, ReduceScatterAlg::PairwiseExchange, true);
-    (run, traces.expect("tracing was enabled"))
+    try_syrk_1d_traced(a, p, model, None).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`syrk_1d_traced`], with optional fault injection.
+pub fn try_syrk_1d_traced(
+    a: &Matrix<f64>,
+    p: usize,
+    model: CostModel,
+    faults: Option<&FaultPlan>,
+) -> Result<(SyrkRunResult, Vec<Timeline>), SyrkError> {
+    let (run, traces) = syrk_1d_impl(
+        a,
+        p,
+        model,
+        ReduceScatterAlg::PairwiseExchange,
+        true,
+        faults,
+    )?;
+    Ok((run, traces.expect("tracing was enabled")))
 }
 
 fn syrk_1d_impl(
@@ -57,9 +100,15 @@ fn syrk_1d_impl(
     model: CostModel,
     rs_alg: ReduceScatterAlg,
     tracing: bool,
-) -> (SyrkRunResult, Option<Vec<Timeline>>) {
+    faults: Option<&FaultPlan>,
+) -> Result<(SyrkRunResult, Option<Vec<Timeline>>), SyrkError> {
     let (n1, n2) = a.shape();
-    assert!(p >= 1, "need at least one rank");
+    if p == 0 {
+        return Err(PlanError::ZeroRanks.into());
+    }
+    if n1 == 0 || n2 == 0 {
+        return Err(PlanError::EmptyMatrix { n1, n2 }.into());
+    }
     let cols = Partition1D::new(n2, p);
     let packed_len = Diag::Inclusive.packed_len(n1);
     let segments = Partition1D::new(packed_len, p);
@@ -68,10 +117,13 @@ fn syrk_1d_impl(
     if tracing {
         machine = machine.with_tracing();
     }
+    if let Some(plan) = faults {
+        machine = machine.with_faults(plan.clone());
+    }
     // Split the hardware threads evenly across the simulated ranks so the
     // per-rank local SYRK doesn't oversubscribe the host.
     let _threads = limit_threads(machine_thread_budget(p));
-    let out = machine.run(|comm| {
+    let out = machine.try_run(|comm| {
         let l = comm.rank();
         // Line 2–3: local SYRK on the owned column block A_ℓ.
         let r = cols.range(l);
@@ -94,8 +146,8 @@ fn syrk_1d_impl(
             }
             out
         };
-        comm.reduce_scatter_with(segs, rs_alg)
-    });
+        comm.try_reduce_scatter_with(segs, rs_alg)
+    })?;
 
     // Reassemble the packed triangle from the per-rank segments (the
     // "evenly distributed across Π" final state) and expand.
@@ -104,7 +156,7 @@ fn syrk_1d_impl(
         packed.extend_from_slice(seg);
     }
     let c = PackedLower::from_vec(n1, Diag::Inclusive, packed).to_full_symmetric();
-    (SyrkRunResult { c, cost: out.cost }, out.traces)
+    Ok((SyrkRunResult { c, cost: out.cost }, out.traces))
 }
 
 #[cfg(test)]

@@ -10,12 +10,14 @@
 //! order.
 
 use syrk_dense::{limit_threads, machine_thread_budget, Diag, Matrix, PackedLower, Partition1D};
-use syrk_machine::{CostModel, Machine, ProcessGrid, Timeline};
+use syrk_machine::{CostModel, FaultPlan, Machine, ProcessGrid, Timeline};
 
 use super::common::{assemble_c, DiagBlock, LocalOutput, OffDiagBlock, SyrkRunResult};
 use super::twod::twod_body;
 use crate::attribution::PHASE_REDUCE_SCATTER_C;
 use crate::dist::{ConformalADist, TriangleBlockDist};
+use crate::error::SyrkError;
+use crate::planner::PlanError;
 
 /// The canonical flat layout of a rank's `C_k` data: its off-diagonal
 /// blocks in `blocks_of(k)` order (each row-major), followed by the
@@ -139,7 +141,24 @@ impl CkLayout {
 ///
 /// Returns the assembled `C = A·Aᵀ` and the cost report.
 pub fn syrk_3d(a: &Matrix<f64>, c: usize, p2: usize, model: CostModel) -> SyrkRunResult {
-    syrk_3d_impl(a, c, p2, model, false).0
+    match syrk_3d_impl(a, c, p2, model, false, None) {
+        Ok((run, _)) => run,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`syrk_3d`]: invalid configurations and machine
+/// failures (crash, deadlock, …) surface as [`SyrkError`] instead of
+/// panicking. An optional [`FaultPlan`] injects deterministic transport
+/// faults into the run.
+pub fn try_syrk_3d(
+    a: &Matrix<f64>,
+    c: usize,
+    p2: usize,
+    model: CostModel,
+    faults: Option<&FaultPlan>,
+) -> Result<SyrkRunResult, SyrkError> {
+    syrk_3d_impl(a, c, p2, model, false, faults).map(|(run, _)| run)
 }
 
 /// Algorithm 3 with event tracing enabled: returns the run result plus
@@ -150,8 +169,19 @@ pub fn syrk_3d_traced(
     p2: usize,
     model: CostModel,
 ) -> (SyrkRunResult, Vec<Timeline>) {
-    let (run, traces) = syrk_3d_impl(a, c, p2, model, true);
-    (run, traces.expect("tracing was enabled"))
+    try_syrk_3d_traced(a, c, p2, model, None).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`syrk_3d_traced`], with optional fault injection.
+pub fn try_syrk_3d_traced(
+    a: &Matrix<f64>,
+    c: usize,
+    p2: usize,
+    model: CostModel,
+    faults: Option<&FaultPlan>,
+) -> Result<(SyrkRunResult, Vec<Timeline>), SyrkError> {
+    let (run, traces) = syrk_3d_impl(a, c, p2, model, true, faults)?;
+    Ok((run, traces.expect("tracing was enabled")))
 }
 
 fn syrk_3d_impl(
@@ -160,12 +190,17 @@ fn syrk_3d_impl(
     p2: usize,
     model: CostModel,
     tracing: bool,
-) -> (SyrkRunResult, Option<Vec<Timeline>>) {
-    let dist = TriangleBlockDist::for_order(c).unwrap_or_else(|| {
-        panic!("no triangle block construction for c = {c} (need a prime power)")
-    });
+    faults: Option<&FaultPlan>,
+) -> Result<(SyrkRunResult, Option<Vec<Timeline>>), SyrkError> {
+    let dist = TriangleBlockDist::for_order(c).ok_or(PlanError::UnsupportedOrder { c })?;
+    if p2 == 0 {
+        return Err(PlanError::ZeroRanks.into());
+    }
     let p1 = dist.p();
     let (n1, n2) = a.shape();
+    if n1 == 0 || n2 == 0 {
+        return Err(PlanError::EmptyMatrix { n1, n2 }.into());
+    }
     let rows = Partition1D::new(n1, dist.num_blocks());
     let cols = Partition1D::new(n2, p2);
     let grid = ProcessGrid::new(p1, p2);
@@ -174,10 +209,13 @@ fn syrk_3d_impl(
     if tracing {
         machine = machine.with_tracing();
     }
+    if let Some(plan) = faults {
+        machine = machine.with_faults(plan.clone());
+    }
     // Split the hardware threads evenly across the simulated ranks so the
     // per-rank kernels don't oversubscribe the host.
     let _threads = limit_threads(machine_thread_budget(p1 * p2));
-    let out = machine.run(|mut comm| {
+    let out = machine.try_run(|mut comm| {
         let gc = grid.split(&mut comm);
         // Line 3: run 2D SYRK within the slice on block column A_{*ℓ}.
         // Phases (allgather-A, local-gemm, local-syrk) are pushed by the
@@ -186,7 +224,7 @@ fn syrk_3d_impl(
         let cr = cols.range(gc.l);
         let a_col = a.block_owned(0, cr.start, n1, cr.len());
         let ad = ConformalADist::new(&dist, n1, cr.len());
-        let local = twod_body(&gc.slice, &dist, &ad, &a_col);
+        let local = twod_body(&gc.slice, &dist, &ad, &a_col)?;
         // Lines 4–5: Reduce-Scatter the partial C_k across Π_{k*}. The
         // payloads are built straight from the block storage (no flat
         // concatenation) and handed to the segment-based collective, which
@@ -194,9 +232,11 @@ fn syrk_3d_impl(
         let _span = comm.phase(PHASE_REDUCE_SCATTER_C);
         let layout = CkLayout::new(&dist, &rows, gc.k);
         let seg = Partition1D::new(layout.total, p2);
-        let mine = gc.row.reduce_scatter(layout.segments(&local, &seg.lens()));
-        (gc.k, gc.l, mine)
-    });
+        let mine = gc
+            .row
+            .try_reduce_scatter(layout.segments(&local, &seg.lens()))?;
+        Ok((gc.k, gc.l, mine))
+    })?;
 
     // Assembly: for each grid row k, concatenate the p2 final segments in
     // ℓ order to recover the summed flat C_k, then unflatten.
@@ -211,13 +251,13 @@ fn syrk_3d_impl(
         outputs.push(CkLayout::new(&dist, &rows, k).assemble(&segs));
     }
     let c_full = assemble_c(n1, &rows, &outputs);
-    (
+    Ok((
         SyrkRunResult {
             c: c_full,
             cost: out.cost,
         },
         out.traces,
-    )
+    ))
 }
 
 #[cfg(test)]

@@ -12,11 +12,13 @@ use syrk_dense::{
     available_threads, balanced_chunks_by_cost, gemm_flops, limit_threads, machine_thread_budget,
     mul_nt, par_for_each_task, steal_task_count, syrk_flops, syrk_packed_new, Diag, Matrix,
 };
-use syrk_machine::{Comm, CostModel, Machine};
+use syrk_machine::{Comm, CostModel, FaultPlan, Machine, MachineError};
 
 use super::common::{assemble_c, DiagBlock, LocalOutput, OffDiagBlock, SyrkRunResult};
 use crate::attribution::{PHASE_ALLGATHER_A, PHASE_LOCAL_GEMM, PHASE_LOCAL_SYRK};
 use crate::dist::{ConformalADist, TriangleBlockDist};
+use crate::error::SyrkError;
+use crate::planner::PlanError;
 
 /// The SPMD body of Algorithm 2, reused verbatim by each slice of the 3D
 /// algorithm (Alg. 3 line 3). `a_slice` is the `n1 × n2_local` input this
@@ -26,7 +28,7 @@ pub(crate) fn twod_body(
     dist: &TriangleBlockDist,
     ad: &ConformalADist,
     a_slice: &Matrix<f64>,
-) -> LocalOutput {
+) -> Result<LocalOutput, MachineError> {
     twod_body_impl(comm, dist, ad, a_slice, false)
 }
 
@@ -41,7 +43,7 @@ pub(crate) fn twod_body_impl(
     ad: &ConformalADist,
     a_slice: &Matrix<f64>,
     padded: bool,
-) -> LocalOutput {
+) -> Result<LocalOutput, MachineError> {
     assert_eq!(comm.size(), dist.p(), "2D body needs exactly c(c+1) ranks");
     let k = comm.rank();
     let n2l = a_slice.cols();
@@ -77,7 +79,7 @@ pub(crate) fn twod_body_impl(
             buf
         })
         .collect();
-    let received = comm.all_to_all(blocks);
+    let received = comm.try_all_to_all(blocks)?;
 
     // Lines 10–14: reassemble each full row block A_i from the chunks of
     // Q_i (mine plus the one received from every other member; padded
@@ -170,7 +172,7 @@ pub(crate) fn twod_body_impl(
         });
         comm.add_flops(syrk_flops(ai.rows(), n2l));
     }
-    out
+    Ok(out)
 }
 
 /// Run Algorithm 2 on a simulated machine with `P = c(c+1)` ranks.
@@ -188,7 +190,23 @@ pub fn syrk_2d_padded(a: &Matrix<f64>, c: usize, model: CostModel) -> SyrkRunRes
 }
 
 fn syrk_2d_impl(a: &Matrix<f64>, c: usize, model: CostModel, padded: bool) -> SyrkRunResult {
-    syrk_2d_traced_impl(a, c, model, padded, false).0
+    match syrk_2d_traced_impl(a, c, model, padded, false, None) {
+        Ok((run, _)) => run,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`syrk_2d`]: invalid configurations and machine
+/// failures (crash, deadlock, …) surface as [`SyrkError`] instead of
+/// panicking. An optional [`FaultPlan`] injects deterministic transport
+/// faults into the run.
+pub fn try_syrk_2d(
+    a: &Matrix<f64>,
+    c: usize,
+    model: CostModel,
+    faults: Option<&FaultPlan>,
+) -> Result<SyrkRunResult, SyrkError> {
+    syrk_2d_traced_impl(a, c, model, false, false, faults).map(|(run, _)| run)
 }
 
 /// Algorithm 2 with event tracing enabled: returns the run result plus
@@ -198,8 +216,18 @@ pub fn syrk_2d_traced(
     c: usize,
     model: CostModel,
 ) -> (SyrkRunResult, Vec<syrk_machine::Timeline>) {
-    let (run, traces) = syrk_2d_traced_impl(a, c, model, false, true);
-    (run, traces.expect("tracing was enabled"))
+    try_syrk_2d_traced(a, c, model, None).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`syrk_2d_traced`], with optional fault injection.
+pub fn try_syrk_2d_traced(
+    a: &Matrix<f64>,
+    c: usize,
+    model: CostModel,
+    faults: Option<&FaultPlan>,
+) -> Result<(SyrkRunResult, Vec<syrk_machine::Timeline>), SyrkError> {
+    let (run, traces) = syrk_2d_traced_impl(a, c, model, false, true, faults)?;
+    Ok((run, traces.expect("tracing was enabled")))
 }
 
 fn syrk_2d_traced_impl(
@@ -208,29 +236,34 @@ fn syrk_2d_traced_impl(
     model: CostModel,
     padded: bool,
     tracing: bool,
-) -> (SyrkRunResult, Option<Vec<syrk_machine::Timeline>>) {
-    let dist = TriangleBlockDist::for_order(c).unwrap_or_else(|| {
-        panic!("no triangle block construction for c = {c} (need a prime power)")
-    });
+    faults: Option<&FaultPlan>,
+) -> Result<(SyrkRunResult, Option<Vec<syrk_machine::Timeline>>), SyrkError> {
+    let dist = TriangleBlockDist::for_order(c).ok_or(PlanError::UnsupportedOrder { c })?;
     let (n1, n2) = a.shape();
+    if n1 == 0 || n2 == 0 {
+        return Err(PlanError::EmptyMatrix { n1, n2 }.into());
+    }
     let ad = ConformalADist::new(&dist, n1, n2);
 
     let mut machine = Machine::new(dist.p()).with_model(model);
     if tracing {
         machine = machine.with_tracing();
     }
+    if let Some(plan) = faults {
+        machine = machine.with_faults(plan.clone());
+    }
     // Split the hardware threads evenly across the simulated ranks so the
     // per-rank kernels don't oversubscribe the host.
     let _threads = limit_threads(machine_thread_budget(dist.p()));
-    let out = machine.run(|comm| twod_body_impl(&comm, &dist, &ad, a, padded));
+    let out = machine.try_run(|comm| twod_body_impl(&comm, &dist, &ad, a, padded))?;
     let c_full = assemble_c(n1, &ad.rows, &out.results);
-    (
+    Ok((
         SyrkRunResult {
             c: c_full,
             cost: out.cost,
         },
         out.traces,
-    )
+    ))
 }
 
 #[cfg(test)]

@@ -38,14 +38,16 @@ mod attribution;
 mod bounds;
 mod coverage;
 mod dist;
+mod error;
 mod planner;
 mod primes;
 
 pub use algorithms::{
     assemble_c, gemm_1d, gemm_2d, gemm_3d, scalapack_syrk_2d, symm_2d, symm_reference, syr2k_1d,
     syr2k_2d, syrk_1d, syrk_1d_traced, syrk_1d_with, syrk_2d, syrk_2d_limited, syrk_2d_padded,
-    syrk_2d_traced, syrk_3d, syrk_3d_traced, DiagBlock, LocalOutput, OffDiagBlock, SymmRunResult,
-    SyrkRunResult,
+    syrk_2d_traced, syrk_3d, syrk_3d_traced, try_syrk_1d, try_syrk_1d_traced, try_syrk_2d,
+    try_syrk_2d_traced, try_syrk_3d, try_syrk_3d_traced, DiagBlock, LocalOutput, OffDiagBlock,
+    SymmRunResult, SyrkRunResult,
 };
 pub use attribution::{
     attribute_bounds, AttributionReport, TermAttribution, PHASE_ALLGATHER_A, PHASE_LOCAL_GEMM,
@@ -59,8 +61,9 @@ pub use bounds::{
 };
 pub use coverage::{footprint, Footprint, IterationOwner, OneDOwner, ThreeDOwner, TwoDOwner};
 pub use dist::{affine_plane_lines, match_diagonals, ConformalADist, Gf, TriangleBlockDist};
+pub use error::SyrkError;
 pub use planner::{
     candidate_plans, constructible_orders, ideal_case3_grid, nearest_triangle_c, plan,
-    predicted_cost, Plan, RankedPlan,
+    predicted_cost, Plan, PlanError, RankedPlan,
 };
 pub use primes::{is_prime, largest_triangle_c_at_most, triangle_c_for, valid_grid_sizes};

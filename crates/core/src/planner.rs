@@ -19,6 +19,50 @@ use crate::bounds::{
 use crate::dist::Gf;
 use crate::primes::is_prime;
 
+/// Why a requested algorithm/grid configuration is invalid — detected
+/// before any simulated rank starts, so the fallible entry points
+/// (`try_syrk_1d`/`_2d`/`_3d`) can reject it without panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// The run was asked for zero ranks (`p = 0` or `p2 = 0`).
+    ZeroRanks,
+    /// No triangle block construction exists for the grid order `c`
+    /// (`P = c(c+1)` requires `c` prime or a supported prime power).
+    UnsupportedOrder {
+        /// The rejected grid order.
+        c: usize,
+    },
+    /// The input matrix has a zero dimension.
+    EmptyMatrix {
+        /// Rows of `A`.
+        n1: usize,
+        /// Columns of `A`.
+        n2: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PlanError::ZeroRanks => write!(f, "plan needs at least one rank"),
+            PlanError::UnsupportedOrder { c } => {
+                write!(
+                    f,
+                    "no triangle block construction for c = {c} (need a prime power)"
+                )
+            }
+            PlanError::EmptyMatrix { n1, n2 } => {
+                write!(
+                    f,
+                    "input matrix must have nonzero dimensions, got {n1}x{n2}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// A concrete algorithm + grid choice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Plan {

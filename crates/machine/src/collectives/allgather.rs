@@ -2,6 +2,7 @@
 
 use crate::collectives::TAG_ALLGATHER;
 use crate::comm::Comm;
+use crate::error::MachineError;
 
 impl Comm {
     /// All-gather with the pairwise-exchange algorithm.
@@ -10,6 +11,12 @@ impl Comm {
     /// `(P − 1)·|mine|` words sent per rank, which is bandwidth-optimal
     /// (`(1 − 1/P)·W` with `W = P·|mine|` the gathered size).
     pub fn all_gather(&self, mine: Vec<f64>) -> Vec<Vec<f64>> {
+        self.try_all_gather(mine).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`all_gather`](Comm::all_gather): transport
+    /// failures surface as [`MachineError`] instead of panicking.
+    pub fn try_all_gather(&self, mine: Vec<f64>) -> Result<Vec<Vec<f64>>, MachineError> {
         let _span = self.collective_phase("coll:all-gather");
         let p = self.size();
         let me = self.rank();
@@ -18,15 +25,21 @@ impl Comm {
         for step in 1..p {
             let dst = (me + step) % p;
             let src = (me + p - step) % p;
-            blocks[src] = self.exchange(dst, mine.clone(), src, TAG_ALLGATHER);
+            blocks[src] = self.try_exchange(dst, mine.clone(), src, TAG_ALLGATHER)?;
         }
         blocks[me] = mine;
-        blocks
+        Ok(blocks)
     }
 
     /// All-gather returning the concatenation of all blocks in rank order.
     pub fn all_gather_concat(&self, mine: Vec<f64>) -> Vec<f64> {
-        self.all_gather(mine).into_iter().flatten().collect()
+        self.try_all_gather_concat(mine)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`all_gather_concat`](Comm::all_gather_concat).
+    pub fn try_all_gather_concat(&self, mine: Vec<f64>) -> Result<Vec<f64>, MachineError> {
+        Ok(self.try_all_gather(mine)?.into_iter().flatten().collect())
     }
 }
 

@@ -2,15 +2,22 @@
 //! which is bandwidth-optimal at `2(1 − 1/P)·w` words per rank.
 
 use crate::comm::Comm;
+use crate::error::MachineError;
 
 impl Comm {
     /// Element-wise sum of every rank's `data`, delivered to every rank.
     /// All ranks must pass equal-length buffers.
     pub fn all_reduce(&self, data: &[f64]) -> Vec<f64> {
+        self.try_all_reduce(data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`all_reduce`](Comm::all_reduce): transport
+    /// failures surface as [`MachineError`] instead of panicking.
+    pub fn try_all_reduce(&self, data: &[f64]) -> Result<Vec<f64>, MachineError> {
         let _span = self.collective_phase("coll:all-reduce");
         let p = self.size();
         if p == 1 {
-            return data.to_vec();
+            return Ok(data.to_vec());
         }
         // Split the buffer into P near-even segments, reduce-scatter them,
         // then all-gather the reduced segments back together.
@@ -18,8 +25,8 @@ impl Comm {
         let base = n / p;
         let extra = n % p;
         let counts: Vec<usize> = (0..p).map(|q| base + usize::from(q < extra)).collect();
-        let mine = self.reduce_scatter_block(data, &counts);
-        self.all_gather_concat(mine)
+        let mine = self.try_reduce_scatter_block(data, &counts)?;
+        self.try_all_gather_concat(mine)
     }
 }
 

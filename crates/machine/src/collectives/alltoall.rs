@@ -2,6 +2,7 @@
 
 use crate::collectives::{CollectiveAlg, TAG_ALLTOALL};
 use crate::comm::Comm;
+use crate::error::MachineError;
 
 impl Comm {
     /// Personalized all-to-all with the pairwise-exchange algorithm.
@@ -28,6 +29,22 @@ impl Comm {
 
     /// All-to-all with an explicit algorithm choice.
     pub fn all_to_all_with(&self, blocks: Vec<Vec<f64>>, alg: CollectiveAlg) -> Vec<Vec<f64>> {
+        self.try_all_to_all_with(blocks, alg)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`all_to_all`](Comm::all_to_all): transport
+    /// failures surface as [`MachineError`] instead of panicking.
+    pub fn try_all_to_all(&self, blocks: Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>, MachineError> {
+        self.try_all_to_all_with(blocks, CollectiveAlg::PairwiseExchange)
+    }
+
+    /// Fallible form of [`all_to_all_with`](Comm::all_to_all_with).
+    pub fn try_all_to_all_with(
+        &self,
+        blocks: Vec<Vec<f64>>,
+        alg: CollectiveAlg,
+    ) -> Result<Vec<Vec<f64>>, MachineError> {
         let _span = self.collective_phase("coll:all-to-all");
         let p = self.size();
         assert_eq!(blocks.len(), p, "all_to_all needs one block per rank");
@@ -38,7 +55,7 @@ impl Comm {
         }
     }
 
-    fn a2a_pairwise(&self, mut blocks: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    fn a2a_pairwise(&self, mut blocks: Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>, MachineError> {
         let p = self.size();
         let me = self.rank();
         let mut recv: Vec<Vec<f64>> = vec![Vec::new(); p];
@@ -47,9 +64,9 @@ impl Comm {
             let dst = (me + step) % p;
             let src = (me + p - step) % p;
             let out = std::mem::take(&mut blocks[dst]);
-            recv[src] = self.exchange(dst, out, src, TAG_ALLTOALL);
+            recv[src] = self.try_exchange(dst, out, src, TAG_ALLTOALL)?;
         }
-        recv
+        Ok(recv)
     }
 
     /// Bruck's algorithm: `⌈log₂ P⌉` rounds. Requires uniform block sizes.
@@ -58,7 +75,7 @@ impl Comm {
     /// whose destination distance has bit `k` set, so each round moves up to
     /// `⌈P/2⌉` blocks: latency `O(log P)`, bandwidth `≈ (w/2)·log₂ P`
     /// (the factor-`(log P)/2` inflation discussed in §6).
-    fn a2a_bruck(&self, blocks: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    fn a2a_bruck(&self, blocks: Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>, MachineError> {
         let p = self.size();
         let me = self.rank();
         let b = blocks.first().map(Vec::len).unwrap_or(0);
@@ -67,7 +84,7 @@ impl Comm {
             "Bruck all-to-all requires uniform block sizes"
         );
         if p == 1 {
-            return blocks;
+            return Ok(blocks);
         }
         // Phase 1: local rotation — slot d holds the block for rank me+d.
         let mut slots: Vec<Vec<f64>> = (0..p).map(|d| blocks[(me + d) % p].clone()).collect();
@@ -83,7 +100,7 @@ impl Comm {
             for &d in &moving {
                 out.extend_from_slice(&slots[d]);
             }
-            let inc: Vec<f64> = self.exchange(dst, out, src, TAG_ALLTOALL);
+            let inc: Vec<f64> = self.try_exchange(dst, out, src, TAG_ALLTOALL)?;
             for (i, &d) in moving.iter().enumerate() {
                 slots[d].copy_from_slice(&inc[i * b..(i + 1) * b]);
             }
@@ -96,7 +113,7 @@ impl Comm {
         for (d, slot) in slots.into_iter().enumerate() {
             recv[(me + p - d) % p] = slot;
         }
-        recv
+        Ok(recv)
     }
 }
 

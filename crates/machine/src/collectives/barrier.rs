@@ -2,12 +2,19 @@
 
 use crate::collectives::TAG_BARRIER;
 use crate::comm::Comm;
+use crate::error::MachineError;
 
 impl Comm {
     /// Synchronize all ranks: no rank returns before every rank has
     /// entered. Dissemination algorithm: `⌈log₂ P⌉` rounds of zero-word
     /// exchanges, so only latency is charged.
     pub fn barrier(&self) {
+        self.try_barrier().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`barrier`](Comm::barrier): transport failures
+    /// surface as [`MachineError`] instead of panicking.
+    pub fn try_barrier(&self) -> Result<(), MachineError> {
         let _span = self.collective_phase("coll:barrier");
         let p = self.size();
         let me = self.rank();
@@ -15,9 +22,10 @@ impl Comm {
         while k < p {
             let dst = (me + k) % p;
             let src = (me + p - k) % p;
-            let _: () = self.exchange(dst, (), src, TAG_BARRIER);
+            let _: () = self.try_exchange(dst, (), src, TAG_BARRIER)?;
             k <<= 1;
         }
+        Ok(())
     }
 }
 

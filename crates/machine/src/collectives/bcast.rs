@@ -2,6 +2,7 @@
 
 use crate::collectives::TAG_BCAST;
 use crate::comm::Comm;
+use crate::error::MachineError;
 
 impl Comm {
     /// Broadcast `data` from `root` to every rank using a binomial tree:
@@ -10,6 +11,18 @@ impl Comm {
     ///
     /// Only `root` needs to supply `Some(data)`; other ranks pass `None`.
     pub fn broadcast(&self, root: usize, data: Option<Vec<f64>>) -> Vec<f64> {
+        self.try_broadcast(root, data)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`broadcast`](Comm::broadcast): transport failures
+    /// surface as [`MachineError`] instead of panicking. Passing `None` on
+    /// the root remains a programmer error and still panics.
+    pub fn try_broadcast(
+        &self,
+        root: usize,
+        data: Option<Vec<f64>>,
+    ) -> Result<Vec<f64>, MachineError> {
         let _span = self.collective_phase("coll:bcast");
         let p = self.size();
         let me = self.rank();
@@ -25,7 +38,7 @@ impl Comm {
             if vrank & mask != 0 {
                 let parent = to_real(vrank - mask);
                 debug_assert!(buf.is_none(), "non-root ranks must pass None");
-                buf = Some(self.recv(parent, TAG_BCAST));
+                buf = Some(self.try_recv(parent, TAG_BCAST)?);
                 break;
             }
             mask <<= 1;
@@ -36,11 +49,11 @@ impl Comm {
         mask >>= 1;
         while mask > 0 {
             if vrank + mask < p {
-                self.send(to_real(vrank + mask), TAG_BCAST, buf.clone());
+                self.try_send(to_real(vrank + mask), TAG_BCAST, buf.clone())?;
             }
             mask >>= 1;
         }
-        buf
+        Ok(buf)
     }
 }
 

@@ -2,12 +2,24 @@
 
 use crate::collectives::{TAG_GATHER, TAG_SCATTER};
 use crate::comm::Comm;
+use crate::error::MachineError;
 
 impl Comm {
     /// Gather every rank's `mine` at `root`. Returns `Some(blocks)` on the
     /// root (indexed by rank) and `None` elsewhere. Blocks may differ in
     /// size. Direct algorithm: the root receives `P − 1` messages.
     pub fn gather(&self, root: usize, mine: Vec<f64>) -> Option<Vec<Vec<f64>>> {
+        self.try_gather(root, mine)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`gather`](Comm::gather): transport failures
+    /// surface as [`MachineError`] instead of panicking.
+    pub fn try_gather(
+        &self,
+        root: usize,
+        mine: Vec<f64>,
+    ) -> Result<Option<Vec<Vec<f64>>>, MachineError> {
         let _span = self.collective_phase("coll:gather");
         let p = self.size();
         let me = self.rank();
@@ -15,19 +27,29 @@ impl Comm {
         if me == root {
             let mut blocks: Vec<Vec<f64>> = vec![Vec::new(); p];
             for src in (0..p).filter(|&s| s != root) {
-                blocks[src] = self.recv(src, TAG_GATHER);
+                blocks[src] = self.try_recv(src, TAG_GATHER)?;
             }
             blocks[root] = mine;
-            Some(blocks)
+            Ok(Some(blocks))
         } else {
-            self.send(root, TAG_GATHER, mine);
-            None
+            self.try_send(root, TAG_GATHER, mine)?;
+            Ok(None)
         }
     }
 
     /// Scatter `blocks[q]` from `root` to each rank `q`. Only the root
     /// supplies `Some(blocks)`. Returns this rank's block.
     pub fn scatter(&self, root: usize, blocks: Option<Vec<Vec<f64>>>) -> Vec<f64> {
+        self.try_scatter(root, blocks)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`scatter`](Comm::scatter).
+    pub fn try_scatter(
+        &self,
+        root: usize,
+        blocks: Option<Vec<Vec<f64>>>,
+    ) -> Result<Vec<f64>, MachineError> {
         let _span = self.collective_phase("coll:scatter");
         let p = self.size();
         let me = self.rank();
@@ -36,11 +58,11 @@ impl Comm {
             let mut blocks = blocks.expect("root must provide the scatter blocks");
             assert_eq!(blocks.len(), p, "scatter needs one block per rank");
             for dst in (0..p).filter(|&d| d != root) {
-                self.send(dst, TAG_SCATTER, std::mem::take(&mut blocks[dst]));
+                self.try_send(dst, TAG_SCATTER, std::mem::take(&mut blocks[dst]))?;
             }
-            std::mem::take(&mut blocks[root])
+            Ok(std::mem::take(&mut blocks[root]))
         } else {
-            self.recv(root, TAG_SCATTER)
+            self.try_recv(root, TAG_SCATTER)
         }
     }
 }

@@ -2,12 +2,20 @@
 
 use crate::collectives::TAG_REDUCE;
 use crate::comm::Comm;
+use crate::error::MachineError;
 
 impl Comm {
     /// Element-wise sum of every rank's `data` delivered to `root`.
     /// Binomial tree: `⌈log₂ P⌉` rounds; returns `Some(sum)` on the root
     /// and `None` elsewhere. All ranks must pass equal-length buffers.
     pub fn reduce(&self, root: usize, data: &[f64]) -> Option<Vec<f64>> {
+        self.try_reduce(root, data)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`reduce`](Comm::reduce): transport failures
+    /// surface as [`MachineError`] instead of panicking.
+    pub fn try_reduce(&self, root: usize, data: &[f64]) -> Result<Option<Vec<f64>>, MachineError> {
         let _span = self.collective_phase("coll:reduce");
         let p = self.size();
         let me = self.rank();
@@ -22,12 +30,12 @@ impl Comm {
         while mask < p {
             if vrank & mask != 0 {
                 let parent = to_real(vrank - mask);
-                self.send(parent, TAG_REDUCE, acc);
-                return None;
+                self.try_send(parent, TAG_REDUCE, acc)?;
+                return Ok(None);
             }
             let child_v = vrank + mask;
             if child_v < p {
-                let inc: Vec<f64> = self.recv(to_real(child_v), TAG_REDUCE);
+                let inc: Vec<f64> = self.try_recv(to_real(child_v), TAG_REDUCE)?;
                 assert_eq!(
                     inc.len(),
                     acc.len(),
@@ -40,7 +48,7 @@ impl Comm {
             }
             mask <<= 1;
         }
-        Some(acc)
+        Ok(Some(acc))
     }
 }
 

@@ -10,6 +10,7 @@
 
 use crate::collectives::TAG_REDUCE_SCATTER;
 use crate::comm::Comm;
+use crate::error::MachineError;
 
 /// Algorithm selector for [`Comm::reduce_scatter_with`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,7 +48,17 @@ impl Comm {
     /// });
     /// assert!(out.results.iter().all(|&x| x == 4.0));
     /// ```
-    pub fn reduce_scatter(&self, mut segments: Vec<Vec<f64>>) -> Vec<f64> {
+    pub fn reduce_scatter(&self, segments: Vec<Vec<f64>>) -> Vec<f64> {
+        self.try_reduce_scatter(segments)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`reduce_scatter`](Comm::reduce_scatter): transport
+    /// failures surface as [`MachineError`] instead of panicking.
+    pub fn try_reduce_scatter(
+        &self,
+        mut segments: Vec<Vec<f64>>,
+    ) -> Result<Vec<f64>, MachineError> {
         let _span = self.collective_phase("coll:reduce-scatter");
         let p = self.size();
         let me = self.rank();
@@ -62,7 +73,7 @@ impl Comm {
             let dst = (me + step) % p;
             let src = (me + p - step) % p;
             let out = std::mem::take(&mut segments[dst]);
-            let inc: Vec<f64> = self.exchange(dst, out, src, TAG_REDUCE_SCATTER);
+            let inc: Vec<f64> = self.try_exchange(dst, out, src, TAG_REDUCE_SCATTER)?;
             assert_eq!(
                 inc.len(),
                 acc.len(),
@@ -73,19 +84,29 @@ impl Comm {
             }
             self.add_flops(acc.len() as u64);
         }
-        acc
+        Ok(acc)
     }
 
     /// Reduce-scatter with an explicit algorithm choice.
     pub fn reduce_scatter_with(&self, segments: Vec<Vec<f64>>, alg: ReduceScatterAlg) -> Vec<f64> {
+        self.try_reduce_scatter_with(segments, alg)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`reduce_scatter_with`](Comm::reduce_scatter_with).
+    pub fn try_reduce_scatter_with(
+        &self,
+        segments: Vec<Vec<f64>>,
+        alg: ReduceScatterAlg,
+    ) -> Result<Vec<f64>, MachineError> {
         let _span = self.collective_phase("coll:reduce-scatter");
         match alg {
-            ReduceScatterAlg::PairwiseExchange => self.reduce_scatter(segments),
+            ReduceScatterAlg::PairwiseExchange => self.try_reduce_scatter(segments),
             ReduceScatterAlg::RecursiveHalving => {
                 if self.size().is_power_of_two() {
                     self.rs_recursive_halving(segments)
                 } else {
-                    self.reduce_scatter(segments)
+                    self.try_reduce_scatter(segments)
                 }
             }
             ReduceScatterAlg::TreeThenScatter => self.rs_tree_then_scatter(segments),
@@ -95,7 +116,7 @@ impl Comm {
     /// Recursive halving: `log₂ P` rounds. In round `r` the group splits
     /// in half; each rank ships its partial sums for the *other* half's
     /// segments to its mirror partner and accumulates the incoming ones.
-    fn rs_recursive_halving(&self, segments: Vec<Vec<f64>>) -> Vec<f64> {
+    fn rs_recursive_halving(&self, segments: Vec<Vec<f64>>) -> Result<Vec<f64>, MachineError> {
         let p = self.size();
         let me = self.rank();
         assert!(p.is_power_of_two());
@@ -120,7 +141,7 @@ impl Comm {
             for seg in &acc[send_lo..send_lo + half] {
                 out.extend_from_slice(seg);
             }
-            let inc: Vec<f64> = self.exchange(partner, out, partner, TAG_REDUCE_SCATTER);
+            let inc: Vec<f64> = self.try_exchange(partner, out, partner, TAG_REDUCE_SCATTER)?;
             let mut off = 0;
             for seg in &mut acc[keep_lo..keep_lo + half] {
                 let len = seg.len();
@@ -138,18 +159,18 @@ impl Comm {
             lo = keep_lo;
             span = half;
         }
-        std::mem::take(&mut acc[me])
+        Ok(std::mem::take(&mut acc[me]))
     }
 
     /// Binomial reduce of the concatenated buffer to rank 0, then a
     /// direct scatter of the reduced segments.
-    fn rs_tree_then_scatter(&self, segments: Vec<Vec<f64>>) -> Vec<f64> {
+    fn rs_tree_then_scatter(&self, segments: Vec<Vec<f64>>) -> Result<Vec<f64>, MachineError> {
         let p = self.size();
         assert_eq!(segments.len(), p);
         let lens: Vec<usize> = segments.iter().map(Vec::len).collect();
         let flat: Vec<f64> = segments.into_iter().flatten().collect();
         self.note_buffer(flat.len());
-        let reduced = self.reduce(0, &flat);
+        let reduced = self.try_reduce(0, &flat)?;
         let blocks = reduced.map(|r| {
             let mut out = Vec::with_capacity(p);
             let mut off = 0;
@@ -159,13 +180,23 @@ impl Comm {
             }
             out
         });
-        self.scatter(0, blocks)
+        self.try_scatter(0, blocks)
     }
 
     /// Reduce-scatter over a contiguous buffer split into `counts[q]`-sized
     /// segments (an `MPI_Reduce_scatter`-style interface). Returns this
     /// rank's reduced segment of length `counts[rank]`.
     pub fn reduce_scatter_block(&self, data: &[f64], counts: &[usize]) -> Vec<f64> {
+        self.try_reduce_scatter_block(data, counts)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`reduce_scatter_block`](Comm::reduce_scatter_block).
+    pub fn try_reduce_scatter_block(
+        &self,
+        data: &[f64],
+        counts: &[usize],
+    ) -> Result<Vec<f64>, MachineError> {
         let p = self.size();
         assert_eq!(counts.len(), p);
         assert_eq!(
@@ -179,7 +210,7 @@ impl Comm {
             segments.push(data[off..off + c].to_vec());
             off += c;
         }
-        self.reduce_scatter(segments)
+        self.try_reduce_scatter(segments)
     }
 }
 

@@ -1,7 +1,15 @@
 //! Communicators: point-to-point messaging, sub-communicators, and the
 //! shared world state of a simulated machine run.
+//!
+//! Every transmission funnels through one dispatch path and every receive
+//! through one matching loop, which is where the robustness machinery
+//! lives: per-link sequence numbers and payload checksums (so injected
+//! duplicates and corruption are *detected*, see [`crate::FaultPlan`]),
+//! `retry:*` phase attribution for all fault-handling traffic, and the
+//! deadlock watchdog that aborts a run with a wait-for graph when every
+//! live rank is blocked with nothing in flight.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -11,66 +19,57 @@ use crate::sync::{
 };
 
 use crate::cost::{CostModel, RankCost, RankLedger};
-use crate::envelope::{Envelope, Payload};
+use crate::envelope::{Envelope, Garbled, Payload};
+use crate::error::{DeadlockInfo, MachineError, WaitEdge};
+use crate::fault::{mix64, FaultPlan, MessageFaults};
 use crate::trace::{Event, EventKind, Timeline};
+
+/// Phase names under which fault-handling costs are recorded. They are
+/// deliberately distinct from any algorithm phase so that `retry:*` rows
+/// in a [`CostReport`](crate::CostReport) isolate robustness overhead
+/// from the Theorem 1 accounting.
+pub const RETRY_DROP_PHASE: &str = "retry:drop";
+/// Receive-side cost of discarding a detected duplicate delivery.
+pub const RETRY_DUP_PHASE: &str = "retry:dup";
+/// Receive-side cost of discarding a checksum-failed delivery.
+pub const RETRY_CORRUPT_PHASE: &str = "retry:corrupt";
+/// Clock lost to an injected rank stall.
+pub const RETRY_STALL_PHASE: &str = "retry:stall";
 
 /// Per-rank incoming message queue with out-of-order matching.
 ///
 /// Channels deliver envelopes in send order per link; a receive for a
 /// specific `(src, tag)` buffers any non-matching envelopes in `pending`
-/// until they are asked for.
+/// until they are asked for. The mailbox also holds this rank's per-link
+/// sequence counters: `tx_seq[d]` numbers messages this rank sends to
+/// world rank `d`, `rx_next[s]` is the next sequence number expected from
+/// world rank `s` (everything below it is a duplicate).
 pub(crate) struct Mailbox {
     rx: Receiver<Envelope>,
     pending: Vec<Envelope>,
+    tx_seq: Vec<u64>,
+    rx_next: Vec<u64>,
 }
 
-impl Mailbox {
-    fn take_matching(
-        &mut self,
-        src: usize,
-        tag: (u64, u64),
-        timeout: Duration,
-        me: usize,
-        poisoned: &AtomicBool,
-    ) -> Envelope {
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|e| e.src == src && e.tag == tag)
-        {
-            // `remove`, not `swap_remove`: per-link FIFO order must be
-            // preserved so that back-to-back collectives reusing a tag
-            // match their rounds in send order.
-            return self.pending.remove(pos);
-        }
-        let deadline = Instant::now() + timeout;
-        loop {
-            // Poll in short slices so a panic on another rank (which can
-            // never satisfy this receive) aborts the run promptly instead
-            // of stalling until the full deadlock timeout.
-            match self.rx.recv_timeout(Duration::from_millis(50)) {
-                Ok(env) if env.src == src && env.tag == tag => return env,
-                Ok(env) => self.pending.push(env),
-                Err(_) => {
-                    if poisoned.load(Ordering::Relaxed) {
-                        panic!(
-                            "rank {me}: aborting recv from {src} tag {tag:?}: another rank panicked"
-                        );
-                    }
-                    if Instant::now() >= deadline {
-                        panic!(
-                            "rank {me}: recv from {src} tag {tag:?} timed out after {timeout:?} \
-                             ({} unmatched envelopes pending)",
-                            self.pending.len()
-                        );
-                    }
-                }
-            }
-        }
-    }
+/// Why a blocking receive gave up. Carries enough context to reproduce
+/// the legacy panic messages exactly in the panicking wrappers.
+pub(crate) enum RecvErr {
+    /// The world's poison flag is set: some rank panicked.
+    PeerPanicked,
+    /// Some rank failed first (clean error, crash, or watchdog abort
+    /// elsewhere); `0` is the first recorded error when known.
+    Aborted(MachineError),
+    /// No matching message within the machine timeout.
+    Timeout {
+        /// Unmatched envelopes buffered at the blocked rank.
+        pending: usize,
+    },
+    /// This rank's watchdog declared the deadlock (it won the race).
+    Deadlock(DeadlockInfo),
 }
 
-/// Shared state of one machine run: the network fabric and cost ledger.
+/// Shared state of one machine run: the network fabric, cost ledger, and
+/// the failure/watchdog flags.
 pub(crate) struct World {
     pub size: usize,
     pub model: CostModel,
@@ -79,8 +78,61 @@ pub(crate) struct World {
     pub timeout: Duration,
     /// Set when any rank panics so blocked receives abort promptly.
     pub poisoned: AtomicBool,
+    /// Set when any rank fails for any reason (panic, clean error, crash,
+    /// deadlock); blocked receives abort promptly.
+    pub aborted: AtomicBool,
+    /// First failure recorded in the run: `(world rank, error)`. Set-once;
+    /// cascade failures on other ranks never overwrite it.
+    pub first_error: Mutex<Option<(usize, MachineError)>>,
+    /// What each rank is currently blocked on (for the wait-for graph).
+    pub waiting: Vec<Mutex<Option<WaitEdge>>>,
+    /// Ranks that have returned from the SPMD closure.
+    pub finished: Vec<AtomicBool>,
+    /// Bumped on every envelope pulled off any channel; the watchdog only
+    /// fires after a full grace window with no progress machine-wide.
+    pub progress: AtomicU64,
+    /// Grace window of global silence before the watchdog declares a
+    /// deadlock (all live ranks blocked the whole time).
+    pub watchdog: Duration,
+    /// Per-rank communication-operation counters (for crash/stall faults).
+    pub ops: Vec<AtomicU64>,
+    /// The installed fault plan, if any.
+    pub faults: Option<FaultPlan>,
     /// Per-rank event logs when tracing is enabled.
     pub traces: Option<Vec<Mutex<Timeline>>>,
+}
+
+impl World {
+    /// Record the first failure of the run (set-once) and flip the abort
+    /// flag so every blocked rank bails out promptly.
+    pub(crate) fn record_error(&self, rank: usize, err: MachineError) {
+        {
+            let mut slot = self.first_error.lock();
+            if slot.is_none() {
+                *slot = Some((rank, err));
+            }
+        }
+        self.aborted.store(true, Ordering::SeqCst);
+    }
+
+    fn first_error_or(&self, fallback: MachineError) -> MachineError {
+        self.first_error
+            .lock()
+            .as_ref()
+            .map(|(_, e)| e.clone())
+            .unwrap_or(fallback)
+    }
+}
+
+/// Clears this rank's wait-for edge when the blocking receive exits.
+struct ClearWait<'a> {
+    slot: &'a Mutex<Option<WaitEdge>>,
+}
+
+impl Drop for ClearWait<'_> {
+    fn drop(&mut self) {
+        *self.slot.lock() = None;
+    }
 }
 
 /// A communicator handle held by a single simulated rank.
@@ -103,23 +155,17 @@ pub struct Comm {
     split_seq: u64,
 }
 
-/// splitmix64 finalizer — used to derive child communicator ids
-/// deterministically and identically on every member.
-fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e3779b97f4a7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
-}
-
 impl Comm {
     pub(crate) fn new_world(world: Arc<World>, rank: usize, rx: Receiver<Envelope>) -> Self {
+        let size = world.size;
         Comm {
             mailbox: Arc::new(Mutex::new(Mailbox {
                 rx,
                 pending: Vec::new(),
+                tx_seq: vec![0; size],
+                rx_next: vec![0; size],
             })),
-            group: Arc::new((0..world.size).collect()),
+            group: Arc::new((0..size).collect()),
             group_rank: rank,
             comm_id: 0,
             split_seq: 0,
@@ -233,58 +279,415 @@ impl Comm {
         }
     }
 
-    fn push_to(&self, dst_world: usize, env: Envelope) {
+    /// Whether the installed fault plan perturbs messages (checksums and
+    /// sequence screening are only paid for when it does).
+    fn faults_active(&self) -> bool {
+        self.world
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.perturbs_messages())
+    }
+
+    /// Charge one communication operation against the fault plan's
+    /// crash/stall schedule for this rank.
+    fn fault_op_check(&self) -> Result<(), MachineError> {
+        let Some(plan) = &self.world.faults else {
+            return Ok(());
+        };
+        if !plan.perturbs_ranks() {
+            return Ok(());
+        }
+        let me = self.world_rank();
+        let op = self.world.ops[me].fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(clock) = plan.stall_at(me, op) {
+            self.with_ledger(|l| l.push(RETRY_STALL_PHASE));
+            self.with_cost(|c, _| c.clock += clock);
+            self.with_ledger(|l| l.pop());
+        }
+        if plan.crash_at(me, op) {
+            let e = MachineError::RankCrashed {
+                rank: me,
+                after_ops: op - 1,
+            };
+            self.world.record_error(me, e.clone());
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn push_to(&self, dst_world: usize, env: Envelope) -> Result<(), MachineError> {
         self.world.senders[dst_world]
             .send(env)
-            .expect("simulated network channel closed while ranks are live");
+            .map_err(|_| MachineError::PeerFailed {
+                rank: self.world_rank(),
+            })
+    }
+
+    /// Push a fault-injected extra copy (a garbled duplicate or
+    /// corruption). Unlike the real copy, the receiver may legitimately
+    /// have consumed everything it needed and returned already — its
+    /// channel is then closed and the trailing artifact is discarded by
+    /// the "network", not reported as a failure (which would race the
+    /// first-error slot against the run's own completion).
+    fn push_extra(&self, dst_world: usize, env: Envelope) -> Result<(), MachineError> {
+        let r = self.push_to(dst_world, env);
+        if r.is_err() {
+            // The receiver's channel closes when its closure returns;
+            // wait for the flags to settle so a clean exit is never
+            // misclassified, then swallow the artifact either way (a
+            // genuine failure is recorded by the failing rank itself).
+            let world = &*self.world;
+            while !world.finished[dst_world].load(Ordering::SeqCst)
+                && !world.poisoned.load(Ordering::SeqCst)
+                && !world.aborted.load(Ordering::SeqCst)
+            {
+                std::thread::yield_now();
+            }
+        }
+        Ok(())
+    }
+
+    /// Charge a fault-handling receive (or retransmit) under `phase`.
+    fn charge_retry(&self, phase: &'static str, f: impl FnOnce(&mut RankCost, &CostModel)) {
+        self.with_ledger(|l| l.push(phase));
+        self.with_cost(f);
+        self.with_ledger(|l| l.pop());
+    }
+
+    /// The single dispatch path every transmission goes through: assigns
+    /// the per-link sequence number, applies the fault plan (dropped
+    /// attempts are retransmitted and charged to `retry:drop`; corrupted
+    /// and duplicated copies are delivered around the real one), and
+    /// charges the real attempt in the caller's phase. `charge_send` is
+    /// false for the exchange path (charged as one duplex step at match
+    /// time) and for zero-cost metadata; `exempt` messages (split
+    /// bookkeeping) still carry sequence numbers but never fault.
+    fn dispatch<T: Payload>(
+        &self,
+        dst: usize,
+        tag: (u64, u64),
+        payload: T,
+        charge_send: bool,
+        exempt: bool,
+    ) -> Result<(), MachineError> {
+        self.fault_op_check()?;
+        let dst_world = self.group[dst];
+        let me = self.world_rank();
+        let words = payload.words();
+        let active = self.faults_active();
+        let (seq, checksum) = if active {
+            let mut mb = self.mailbox.lock();
+            let s = mb.tx_seq[dst_world];
+            mb.tx_seq[dst_world] += 1;
+            (s, payload.checksum())
+        } else {
+            (0, 0)
+        };
+        let mf = if active && !exempt {
+            self.world
+                .faults
+                .as_ref()
+                .expect("faults_active implies a plan")
+                .decide(me, dst_world, seq)
+        } else {
+            MessageFaults::default()
+        };
+        // Retransmits: each lost attempt costs a full message on the
+        // sender but never reaches the wire.
+        for _ in 0..mf.drops {
+            self.charge_retry(RETRY_DROP_PHASE, |c, m| c.on_send(words, m));
+        }
+        if mf.corrupt {
+            // The garbled copy arrives first and fails the checksum; the
+            // retransmission below is the one the receiver consumes.
+            let ready = self.with_cost(|c, _| c.clock);
+            self.push_extra(
+                dst_world,
+                Envelope {
+                    src: me,
+                    tag,
+                    words,
+                    sender_ready: ready,
+                    seq,
+                    checksum,
+                    wire_checksum: checksum ^ 0xbad_c0de,
+                    payload: Box::new(Garbled),
+                },
+            )?;
+        }
+        let sender_ready = if charge_send {
+            self.with_cost(|c, m| {
+                let ready = c.clock;
+                c.on_send(words, m);
+                ready
+            })
+        } else {
+            self.with_cost(|c, _| c.clock)
+        };
+        self.push_to(
+            dst_world,
+            Envelope {
+                src: me,
+                tag,
+                words,
+                sender_ready: sender_ready + mf.delay,
+                seq,
+                checksum,
+                wire_checksum: checksum,
+                payload: Box::new(payload),
+            },
+        )?;
+        if mf.duplicate {
+            // A stale second copy with the same sequence number; the
+            // receiver detects and discards it.
+            self.push_extra(
+                dst_world,
+                Envelope {
+                    src: me,
+                    tag,
+                    words,
+                    sender_ready: sender_ready + mf.delay,
+                    seq,
+                    checksum,
+                    wire_checksum: checksum,
+                    payload: Box::new(Garbled),
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Receive-side fault screening, applied to every envelope pulled off
+    /// the channel *before* tag matching: a checksum mismatch is a
+    /// corrupted delivery, a sequence number below the link cursor is a
+    /// duplicate. Both are discarded, with the wasted receive charged to
+    /// the matching `retry:*` phase.
+    fn screen(&self, mb: &mut Mailbox, env: Envelope) -> Option<Envelope> {
+        if !self.faults_active() {
+            return Some(env);
+        }
+        if env.wire_checksum != env.checksum {
+            self.charge_retry(RETRY_CORRUPT_PHASE, |c, m| {
+                c.on_recv(env.words, env.sender_ready, m)
+            });
+            return None;
+        }
+        let next = &mut mb.rx_next[env.src];
+        if env.seq < *next {
+            self.charge_retry(RETRY_DUP_PHASE, |c, m| {
+                c.on_recv(env.words, env.sender_ready, m)
+            });
+            return None;
+        }
+        *next = env.seq + 1;
+        Some(env)
+    }
+
+    /// Watchdog declaration: first rank to flip the abort flag snapshots
+    /// the wait-for graph; racers get `None` and report the cascade.
+    fn declare_deadlock(&self) -> Option<DeadlockInfo> {
+        let world = &*self.world;
+        if world
+            .aborted
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut finished = Vec::new();
+        for r in 0..world.size {
+            if world.finished[r].load(Ordering::SeqCst) {
+                finished.push(r);
+            } else if let Some(e) = world.waiting[r].lock().clone() {
+                edges.push(e);
+            }
+        }
+        edges.sort_by_key(|e| e.from);
+        let info = DeadlockInfo { edges, finished };
+        let mut slot = world.first_error.lock();
+        if slot.is_none() {
+            *slot = Some((self.world_rank(), MachineError::Deadlock(info.clone())));
+        }
+        Some(info)
+    }
+
+    /// The single blocking matching loop every receive goes through.
+    /// Registers this rank's wait-for edge, screens every delivery for
+    /// injected faults, and gives up on poisoning, abort, watchdog
+    /// deadlock, or the machine timeout.
+    fn recv_env(
+        &self,
+        src_world: usize,
+        tag: (u64, u64),
+        op: &'static str,
+    ) -> Result<Envelope, RecvErr> {
+        let me = self.world_rank();
+        let world = &*self.world;
+        let mut mb = self.mailbox.lock();
+        if let Some(pos) = mb
+            .pending
+            .iter()
+            .position(|e| e.src == src_world && e.tag == tag)
+        {
+            // `remove`, not `swap_remove`: per-link FIFO order must be
+            // preserved so that back-to-back collectives reusing a tag
+            // match their rounds in send order.
+            return Ok(mb.pending.remove(pos));
+        }
+        *world.waiting[me].lock() = Some(WaitEdge {
+            from: me,
+            to: src_world,
+            op,
+            tag,
+            phase: self.with_ledger(|l| l.active_phase()),
+        });
+        let _clear = ClearWait {
+            slot: &world.waiting[me],
+        };
+        let deadline = Instant::now() + world.timeout;
+        // `(since, progress epoch)` of the oldest tick at which every live
+        // rank was observed blocked with this epoch.
+        let mut stuck: Option<(Instant, u64)> = None;
+        loop {
+            // Poll in short slices so failures elsewhere (panic, crash,
+            // watchdog) abort this receive promptly instead of stalling
+            // until the full deadlock timeout.
+            match mb.rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(env) => {
+                    world.progress.fetch_add(1, Ordering::SeqCst);
+                    stuck = None;
+                    let Some(env) = self.screen(&mut mb, env) else {
+                        continue;
+                    };
+                    if env.src == src_world && env.tag == tag {
+                        return Ok(env);
+                    }
+                    mb.pending.push(env);
+                }
+                Err(_) => {
+                    if world.poisoned.load(Ordering::Relaxed) {
+                        return Err(RecvErr::PeerPanicked);
+                    }
+                    if world.aborted.load(Ordering::SeqCst) {
+                        return Err(RecvErr::Aborted(
+                            world.first_error_or(MachineError::PeerFailed { rank: me }),
+                        ));
+                    }
+                    let prog = world.progress.load(Ordering::SeqCst);
+                    let all_blocked = (0..world.size).all(|r| {
+                        r == me
+                            || world.finished[r].load(Ordering::SeqCst)
+                            || world.waiting[r].lock().is_some()
+                    });
+                    if all_blocked {
+                        match stuck {
+                            Some((since, epoch)) if epoch == prog => {
+                                if since.elapsed() >= world.watchdog {
+                                    return match self.declare_deadlock() {
+                                        Some(info) => Err(RecvErr::Deadlock(info)),
+                                        None => Err(RecvErr::Aborted(world.first_error_or(
+                                            MachineError::PeerFailed { rank: me },
+                                        ))),
+                                    };
+                                }
+                            }
+                            _ => stuck = Some((Instant::now(), prog)),
+                        }
+                    } else {
+                        stuck = None;
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(RecvErr::Timeout {
+                            pending: mb.pending.len(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Like [`recv_env`](Comm::recv_env) but panicking, with the legacy
+    /// diagnostic messages.
+    fn recv_env_or_panic(&self, src_world: usize, tag: (u64, u64), op: &'static str) -> Envelope {
+        let me = self.world_rank();
+        match self.recv_env(src_world, tag, op) {
+            Ok(env) => env,
+            Err(RecvErr::PeerPanicked) => panic!(
+                "rank {me}: aborting recv from {src_world} tag {tag:?}: another rank panicked"
+            ),
+            Err(RecvErr::Aborted(e)) => {
+                panic!("rank {me}: aborting recv from {src_world} tag {tag:?}: {e}")
+            }
+            Err(RecvErr::Timeout { pending }) => panic!(
+                "rank {me}: recv from {src_world} tag {tag:?} timed out after {:?} \
+                 ({pending} unmatched envelopes pending)",
+                self.world.timeout
+            ),
+            Err(RecvErr::Deadlock(info)) => {
+                panic!("rank {me}: {}", MachineError::Deadlock(info))
+            }
+        }
+    }
+
+    fn recv_err_to_machine(&self, e: RecvErr, src_world: usize, tag: (u64, u64)) -> MachineError {
+        let me = self.world_rank();
+        match e {
+            RecvErr::PeerPanicked | RecvErr::Aborted(_) => MachineError::PeerFailed { rank: me },
+            RecvErr::Timeout { .. } => MachineError::RecvTimeout {
+                rank: me,
+                src: src_world,
+                tag,
+            },
+            RecvErr::Deadlock(info) => MachineError::Deadlock(info),
+        }
     }
 
     /// Send `payload` to group rank `dst` with `tag`. Blocking-send
     /// semantics are simulated for cost purposes only; the transport is
     /// buffered, so `send` never deadlocks.
+    ///
+    /// Panics on injected crash faults or a dead peer; see
+    /// [`try_send`](Comm::try_send) for the `Result` form.
     pub fn send<T: Payload>(&self, dst: usize, tag: u64, payload: T) {
+        self.try_send(dst, tag, payload)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`send`](Comm::send): returns an error instead of
+    /// panicking when this rank is crashed by the fault plan or the peer
+    /// is gone.
+    pub fn try_send<T: Payload>(
+        &self,
+        dst: usize,
+        tag: u64,
+        payload: T,
+    ) -> Result<(), MachineError> {
         assert!(
             dst < self.size(),
             "send: dst {dst} out of range for size {}",
             self.size()
         );
-        let words = payload.words();
-        let sender_ready = self.with_cost(|c, m| {
-            let ready = c.clock;
-            c.on_send(words, m);
-            ready
-        });
-        self.push_to(
-            self.group[dst],
-            Envelope {
-                src: self.world_rank(),
-                tag: (self.comm_id, tag),
-                words,
-                sender_ready,
-                payload: Box::new(payload),
-            },
-        );
-        self.trace(EventKind::Send, self.group[dst], words as u64);
+        let words = payload.words() as u64;
+        self.dispatch(dst, (self.comm_id, tag), payload, true, false)?;
+        self.trace(EventKind::Send, self.group[dst], words);
+        Ok(())
     }
 
     /// Receive a `T` from group rank `src` with `tag`.
     ///
     /// Panics if the next matching message does not contain a `T`, or if no
     /// matching message arrives within the machine's timeout (a deadlock
-    /// diagnostic rather than a hang).
+    /// diagnostic rather than a hang). See [`try_recv`](Comm::try_recv)
+    /// for the `Result` form.
     pub fn recv<T: Payload>(&self, src: usize, tag: u64) -> T {
         assert!(
             src < self.size(),
             "recv: src {src} out of range for size {}",
             self.size()
         );
-        let env = self.mailbox.lock().take_matching(
-            self.group[src],
-            (self.comm_id, tag),
-            self.world.timeout,
-            self.world_rank(),
-            &self.world.poisoned,
-        );
+        self.fault_op_check().unwrap_or_else(|e| panic!("{e}"));
+        let env = self.recv_env_or_panic(self.group[src], (self.comm_id, tag), "recv");
         self.with_cost(|c, m| c.on_recv(env.words, env.sender_ready, m));
         self.trace(EventKind::Recv, self.group[src], env.words as u64);
         *env.payload.downcast::<T>().unwrap_or_else(|_| {
@@ -297,6 +700,32 @@ impl Comm {
         })
     }
 
+    /// Fallible form of [`recv`](Comm::recv): a watchdog-detected
+    /// deadlock, timeout, peer failure, injected crash, or payload type
+    /// mismatch is returned as a [`MachineError`] instead of panicking.
+    pub fn try_recv<T: Payload>(&self, src: usize, tag: u64) -> Result<T, MachineError> {
+        assert!(
+            src < self.size(),
+            "recv: src {src} out of range for size {}",
+            self.size()
+        );
+        self.fault_op_check()?;
+        let src_world = self.group[src];
+        let env = self
+            .recv_env(src_world, (self.comm_id, tag), "recv")
+            .map_err(|e| self.recv_err_to_machine(e, src_world, (self.comm_id, tag)))?;
+        self.with_cost(|c, m| c.on_recv(env.words, env.sender_ready, m));
+        self.trace(EventKind::Recv, src_world, env.words as u64);
+        env.payload
+            .downcast::<T>()
+            .map(|b| *b)
+            .map_err(|_| MachineError::TypeMismatch {
+                rank: self.rank(),
+                src,
+                tag,
+            })
+    }
+
     /// Simultaneously send `payload` to `dst` and receive a `T` from `src`
     /// (both group ranks). Under the bidirectional-link assumption of §3.2
     /// the step is charged once at `α + β·max(w_out, w_in)`, which is what
@@ -306,24 +735,9 @@ impl Comm {
         let w_out = out.words();
         // Dispatch without advancing the clock: the exchange is charged as
         // one duplex step when the inbound message is matched below.
-        let sender_ready = self.with_cost(|c, _| c.clock);
-        self.push_to(
-            self.group[dst],
-            Envelope {
-                src: self.world_rank(),
-                tag: (self.comm_id, tag),
-                words: w_out,
-                sender_ready,
-                payload: Box::new(out),
-            },
-        );
-        let env = self.mailbox.lock().take_matching(
-            self.group[src],
-            (self.comm_id, tag),
-            self.world.timeout,
-            self.world_rank(),
-            &self.world.poisoned,
-        );
+        self.dispatch(dst, (self.comm_id, tag), out, false, false)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let env = self.recv_env_or_panic(self.group[src], (self.comm_id, tag), "exchange");
         self.with_cost(|c, m| c.on_exchange(w_out, env.words, env.sender_ready, m));
         self.trace(
             EventKind::Exchange,
@@ -338,6 +752,37 @@ impl Comm {
                 tag
             )
         })
+    }
+
+    /// Fallible form of [`exchange`](Comm::exchange).
+    pub fn try_exchange<T: Payload, U: Payload>(
+        &self,
+        dst: usize,
+        out: T,
+        src: usize,
+        tag: u64,
+    ) -> Result<U, MachineError> {
+        assert!(dst < self.size() && src < self.size());
+        let w_out = out.words();
+        self.dispatch(dst, (self.comm_id, tag), out, false, false)?;
+        let src_world = self.group[src];
+        let env = self
+            .recv_env(src_world, (self.comm_id, tag), "exchange")
+            .map_err(|e| self.recv_err_to_machine(e, src_world, (self.comm_id, tag)))?;
+        self.with_cost(|c, m| c.on_exchange(w_out, env.words, env.sender_ready, m));
+        self.trace(
+            EventKind::Exchange,
+            self.group[dst],
+            w_out.max(env.words) as u64,
+        );
+        env.payload
+            .downcast::<U>()
+            .map(|b| *b)
+            .map_err(|_| MachineError::TypeMismatch {
+                rank: self.rank(),
+                src,
+                tag,
+            })
     }
 
     /// Collectively split this communicator into disjoint sub-communicators.
@@ -355,36 +800,22 @@ impl Comm {
         // simulation honest we avoid the network entirely: membership is a
         // pure function of the arguments, which every rank must supply
         // consistently, so each rank exchanges metadata envelopes of zero
-        // words.
+        // words. The metadata is exempt from fault injection (it still
+        // carries sequence numbers so link cursors stay consistent).
         let tag = mix64(self.comm_id ^ self.split_seq.wrapping_mul(0x51ab_3c47));
         let me = self.group_rank;
         let meta = vec![color, key as u64];
         for dst in 0..self.size() {
             if dst != me {
                 // Zero-word metadata: charge nothing.
-                let sender_ready = self.with_cost(|c, _| c.clock);
-                self.push_to(
-                    self.group[dst],
-                    Envelope {
-                        src: self.world_rank(),
-                        tag: (self.comm_id, tag),
-                        words: 0,
-                        sender_ready,
-                        payload: Box::new(meta.clone()),
-                    },
-                );
+                self.dispatch(dst, (self.comm_id, tag), meta.clone(), false, true)
+                    .unwrap_or_else(|e| panic!("{e}"));
             }
         }
         let mut members: Vec<(u64, usize, usize)> = vec![(color, key, me)];
         for src in 0..self.size() {
             if src != me {
-                let env = self.mailbox.lock().take_matching(
-                    self.group[src],
-                    (self.comm_id, tag),
-                    self.world.timeout,
-                    self.world_rank(),
-                    &self.world.poisoned,
-                );
+                let env = self.recv_env_or_panic(self.group[src], (self.comm_id, tag), "split");
                 let v = env
                     .payload
                     .downcast::<Vec<u64>>()

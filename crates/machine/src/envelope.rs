@@ -2,19 +2,38 @@
 
 use std::any::Any;
 
+use crate::fault::mix64;
+
 /// Data that can be sent between ranks.
 ///
 /// The machine charges bandwidth by *words*; a word is one `f64`-sized
 /// element. Implementors report how many words their wire representation
-/// occupies so the cost accounting matches the paper's word counts.
+/// occupies so the cost accounting matches the paper's word counts, and a
+/// checksum of those words so corrupted deliveries can be detected when a
+/// fault plan is active.
 pub trait Payload: Send + 'static {
     /// Number of machine words this payload occupies on the wire.
     fn words(&self) -> usize;
+
+    /// Order-sensitive checksum of the wire representation. Only computed
+    /// when a fault plan perturbs messages; the default folds nothing.
+    fn checksum(&self) -> u64 {
+        0
+    }
+}
+
+/// Fold one 64-bit word into a running checksum (order-sensitive).
+fn fold(acc: u64, word: u64) -> u64 {
+    mix64(acc.rotate_left(7) ^ word)
 }
 
 impl Payload for Vec<f64> {
     fn words(&self) -> usize {
         self.len()
+    }
+
+    fn checksum(&self) -> u64 {
+        self.iter().fold(0xf64, |a, x| fold(a, x.to_bits()))
     }
 }
 
@@ -22,11 +41,19 @@ impl Payload for Vec<u64> {
     fn words(&self) -> usize {
         self.len()
     }
+
+    fn checksum(&self) -> u64 {
+        self.iter().fold(0x64, |a, &x| fold(a, x))
+    }
 }
 
 impl Payload for Vec<usize> {
     fn words(&self) -> usize {
         self.len()
+    }
+
+    fn checksum(&self) -> u64 {
+        self.iter().fold(0x512e, |a, &x| fold(a, x as u64))
     }
 }
 
@@ -34,17 +61,29 @@ impl Payload for f64 {
     fn words(&self) -> usize {
         1
     }
+
+    fn checksum(&self) -> u64 {
+        fold(0x1f64, self.to_bits())
+    }
 }
 
 impl Payload for u64 {
     fn words(&self) -> usize {
         1
     }
+
+    fn checksum(&self) -> u64 {
+        fold(0x164, *self)
+    }
 }
 
 impl Payload for usize {
     fn words(&self) -> usize {
         1
+    }
+
+    fn checksum(&self) -> u64 {
+        fold(0x1512e, *self as u64)
     }
 }
 
@@ -54,7 +93,17 @@ impl Payload for () {
     fn words(&self) -> usize {
         0
     }
+
+    fn checksum(&self) -> u64 {
+        0x0717
+    }
 }
+
+/// Stand-in payload carried by injected duplicate/corrupt copies. The
+/// receive path discards those copies before any downcast, so if one ever
+/// leaked through, the downcast would fail loudly instead of silently
+/// returning garbage.
+pub(crate) struct Garbled;
 
 /// A typed message envelope traveling through the simulated network.
 pub(crate) struct Envelope {
@@ -66,6 +115,15 @@ pub(crate) struct Envelope {
     pub words: usize,
     /// Sender's clock when the message was dispatched.
     pub sender_ready: f64,
+    /// Per-link (`src → dst`) sequence number assigned in program order.
+    /// Retransmissions and injected copies of one logical message share it.
+    pub seq: u64,
+    /// Checksum the sender computed over the true payload (0 when no
+    /// fault plan is active — checksums are then skipped entirely).
+    pub checksum: u64,
+    /// Checksum of the bits as delivered; differs from `checksum` exactly
+    /// when the copy was corrupted in flight.
+    pub wire_checksum: u64,
     /// The type-erased payload; downcast on receive.
     pub payload: Box<dyn Any + Send>,
 }
@@ -86,12 +144,24 @@ mod tests {
     }
 
     #[test]
+    fn checksums_are_order_and_value_sensitive() {
+        assert_ne!(vec![1.0f64, 2.0].checksum(), vec![2.0f64, 1.0].checksum());
+        assert_ne!(vec![1u64, 2].checksum(), vec![1u64, 3].checksum());
+        assert_eq!(vec![1.0f64, 2.0].checksum(), vec![1.0f64, 2.0].checksum());
+        // Different payload types never share a checksum stream trivially.
+        assert_ne!(vec![1u64].checksum(), vec![1usize].checksum());
+    }
+
+    #[test]
     fn envelope_downcast_roundtrip() {
         let e = Envelope {
             src: 3,
             tag: (0, 42),
             words: 2,
             sender_ready: 1.5,
+            seq: 0,
+            checksum: 0,
+            wire_checksum: 0,
             payload: Box::new(vec![1.0f64, 2.0]),
         };
         let v = e.payload.downcast::<Vec<f64>>().expect("type should match");

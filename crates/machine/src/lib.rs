@@ -39,17 +39,23 @@ mod collectives;
 mod comm;
 mod cost;
 mod envelope;
+mod error;
 pub mod export;
+mod fault;
 mod machine;
 mod sync;
 mod topology;
 mod trace;
 
 pub use collectives::{CollectiveAlg, ReduceScatterAlg};
-pub use comm::{Comm, PhaseScope};
+pub use comm::{
+    Comm, PhaseScope, RETRY_CORRUPT_PHASE, RETRY_DROP_PHASE, RETRY_DUP_PHASE, RETRY_STALL_PHASE,
+};
 pub use cost::{CostModel, CostReport, PhaseCost, PhaseRow, PhaseTable, RankCost, UNTAGGED_PHASE};
 pub use envelope::Payload;
+pub use error::{DeadlockInfo, MachineError, WaitEdge};
 pub use export::{chrome_trace_json, timelines_csv};
+pub use fault::FaultPlan;
 pub use machine::{Machine, RunOutput};
 pub use topology::{GridComms, ProcessGrid};
 pub use trace::{Event, EventKind, Timeline};

@@ -1,8 +1,9 @@
 //! The SPMD runner: spawns one OS thread per simulated rank, executes the
 //! user closure, and collects results plus the cost report.
 
+use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -10,6 +11,8 @@ use crate::sync::{channel::unbounded, Mutex};
 
 use crate::comm::{Comm, World};
 use crate::cost::{CostModel, CostReport, RankLedger};
+use crate::error::MachineError;
+use crate::fault::FaultPlan;
 
 /// Output of one machine run: the per-rank results of the SPMD closure and
 /// the aggregated communication/computation cost report.
@@ -43,7 +46,20 @@ pub struct Machine {
     size: usize,
     model: CostModel,
     timeout: Duration,
+    watchdog: Duration,
+    faults: Option<FaultPlan>,
     tracing: bool,
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl Machine {
@@ -55,6 +71,8 @@ impl Machine {
             size,
             model: CostModel::bandwidth_only(),
             timeout: Duration::from_secs(120),
+            watchdog: Duration::from_secs(2),
+            faults: None,
             tracing: false,
         }
     }
@@ -72,9 +90,25 @@ impl Machine {
         self
     }
 
-    /// Set the deadlock-detection timeout for blocking receives.
+    /// Set the deadlock-detection timeout for blocking receives (the
+    /// coarse per-receive fallback; the watchdog usually fires first).
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Set the watchdog grace window: when every live rank has been
+    /// blocked in a receive with no message delivered machine-wide for
+    /// this long, the run aborts with a wait-for-graph
+    /// [`MachineError::Deadlock`] instead of hanging.
+    pub fn with_watchdog(mut self, grace: Duration) -> Self {
+        self.watchdog = grace;
+        self
+    }
+
+    /// Install a deterministic fault-injection plan for the run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -85,12 +119,44 @@ impl Machine {
 
     /// Run `f` in SPMD fashion on every rank and collect results and costs.
     ///
-    /// Panics in any rank are propagated to the caller after all other
-    /// ranks have been joined or abandoned.
+    /// If any rank fails (panic, injected crash, deadlock), the *first*
+    /// failure is reported by panicking with its message; cascade failures
+    /// on other ranks are suppressed.
     pub fn run<R, F>(&self, f: F) -> RunOutput<R>
     where
         R: Send,
         F: Fn(Comm) -> R + Sync,
+    {
+        match self.try_run(|comm| Ok(f(comm))) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Run `f` in SPMD fashion, returning the first failure as a
+    /// [`MachineError`] instead of panicking.
+    ///
+    /// The closure returns `Result`, so fallible communication (the
+    /// `try_*` methods on [`Comm`]) composes with `?`. A rank that
+    /// panics is reported as [`MachineError::RankPanicked`]; the first
+    /// failure in wall-clock order wins and later cascades (ranks
+    /// aborting because a peer already failed) are suppressed.
+    ///
+    /// ```
+    /// use syrk_machine::{Machine, MachineError};
+    ///
+    /// let err = Machine::new(2)
+    ///     .try_run(|comm| -> Result<(), MachineError> {
+    ///         let _: Vec<f64> = comm.try_recv(1 - comm.rank(), 0)?; // nobody sends
+    ///         Ok(())
+    ///     })
+    ///     .unwrap_err();
+    /// assert!(matches!(err, MachineError::Deadlock(_)));
+    /// ```
+    pub fn try_run<R, F>(&self, f: F) -> Result<RunOutput<R>, MachineError>
+    where
+        R: Send,
+        F: Fn(Comm) -> Result<R, MachineError> + Sync,
     {
         let p = self.size;
         let mut senders = Vec::with_capacity(p);
@@ -107,46 +173,67 @@ impl Machine {
             costs: (0..p).map(|_| Mutex::new(RankLedger::default())).collect(),
             timeout: self.timeout,
             poisoned: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
+            first_error: Mutex::new(None),
+            waiting: (0..p).map(|_| Mutex::new(None)).collect(),
+            finished: (0..p).map(|_| AtomicBool::new(false)).collect(),
+            progress: AtomicU64::new(0),
+            watchdog: self.watchdog,
+            ops: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            faults: self.faults.clone(),
             traces: self
                 .tracing
                 .then(|| (0..p).map(|_| Mutex::new(Vec::new())).collect()),
         });
 
-        let results: Vec<R> = {
-            let handles: Vec<_> = std::thread::scope(|s| {
-                receivers
-                    .into_iter()
-                    .enumerate()
-                    .map(|(rank, rx)| {
-                        let world = Arc::clone(&world);
-                        let f = &f;
-                        s.spawn(move || {
-                            let comm = Comm::new_world(Arc::clone(&world), rank, rx);
-                            let r = panic::catch_unwind(AssertUnwindSafe(|| f(comm)));
-                            if r.is_err() {
-                                world.poisoned.store(true, Ordering::Relaxed);
-                            }
-                            r
-                        })
-                    })
-                    .collect::<Vec<_>>()
-                    .into_iter()
-                    .map(|h| h.join())
-                    .collect()
-            });
-            // Propagate the first panic (if any) after every thread ended.
-            handles
+        let results: Vec<Option<R>> = std::thread::scope(|s| {
+            receivers
                 .into_iter()
-                .map(|r| match r {
-                    Ok(Ok(v)) => v,
-                    Ok(Err(e)) | Err(e) => panic::resume_unwind(e),
+                .enumerate()
+                .map(|(rank, rx)| {
+                    let world = Arc::clone(&world);
+                    let f = &f;
+                    s.spawn(move || {
+                        let comm = Comm::new_world(Arc::clone(&world), rank, rx);
+                        let r = panic::catch_unwind(AssertUnwindSafe(|| f(comm)));
+                        let out = match r {
+                            Ok(Ok(v)) => Some(v),
+                            Ok(Err(e)) => {
+                                world.record_error(rank, e);
+                                None
+                            }
+                            Err(payload) => {
+                                // Record the originating failure *before*
+                                // raising the flags, so ranks that abort in
+                                // cascade can never claim the first-error
+                                // slot.
+                                world.record_error(
+                                    rank,
+                                    MachineError::RankPanicked {
+                                        rank,
+                                        message: panic_message(payload.as_ref()),
+                                    },
+                                );
+                                world.poisoned.store(true, Ordering::SeqCst);
+                                None
+                            }
+                        };
+                        world.finished[rank].store(true, Ordering::SeqCst);
+                        out
+                    })
                 })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("rank thread died outside catch_unwind"))
                 .collect()
-        };
+        });
 
         let world = Arc::try_unwrap(world).unwrap_or_else(|_| {
             panic!("a Comm outlived the machine run; do not leak communicators from the closure")
         });
+        if let Some((_, e)) = world.first_error.into_inner() {
+            return Err(e);
+        }
         let mut ranks = Vec::with_capacity(p);
         let mut phases = Vec::with_capacity(p);
         for m in world.costs {
@@ -157,15 +244,18 @@ impl Machine {
         let traces = world
             .traces
             .map(|ts| ts.into_iter().map(|m| m.into_inner()).collect());
-        RunOutput {
-            results,
+        Ok(RunOutput {
+            results: results
+                .into_iter()
+                .map(|o| o.expect("rank produced no result yet no error was recorded"))
+                .collect(),
             cost: CostReport {
                 model: self.model,
                 ranks,
                 phases,
             },
             traces,
-        }
+        })
     }
 }
 
@@ -212,6 +302,58 @@ mod tests {
                 panic!("deliberate");
             }
         });
+    }
+
+    #[test]
+    fn first_error_wins_over_cascades() {
+        // Rank 1 fails first; ranks 0 and 2 then abort inside a blocked
+        // receive. The reported error must be rank 1's, not a cascade.
+        let err = Machine::new(3)
+            .try_run(|comm| -> Result<(), MachineError> {
+                if comm.rank() == 1 {
+                    return Err(MachineError::RankCrashed {
+                        rank: 1,
+                        after_ops: 0,
+                    });
+                }
+                let _: Vec<f64> = comm.try_recv(1, 0)?;
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MachineError::RankCrashed {
+                rank: 1,
+                after_ops: 0
+            }
+        );
+    }
+
+    #[test]
+    fn try_run_reports_panics_as_errors() {
+        let err = Machine::new(2)
+            .try_run(|comm| {
+                if comm.rank() == 0 {
+                    panic!("kaboom {}", 7);
+                }
+                Ok(comm.rank())
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MachineError::RankPanicked {
+                rank: 0,
+                message: "kaboom 7".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn try_run_collects_results_on_success() {
+        let out = Machine::new(4)
+            .try_run(|comm| Ok(comm.rank() * 2))
+            .expect("clean run");
+        assert_eq!(out.results, vec![0, 2, 4, 6]);
     }
 
     #[test]

@@ -234,3 +234,49 @@ fn planned_syrk_fuzz() {
         assert!(err < 1e-9, "case {case} ({n1},{n2},{p},{seed}): {err}");
     }
 }
+
+/// The `try_syrk_*` entry points are total: every small configuration —
+/// empty matrices, zero rank counts, and grid orders with no triangle
+/// block construction — yields `Ok` or a typed [`SyrkError`], never a
+/// panic, and every `Ok` is numerically correct.
+#[test]
+fn try_api_is_total_over_random_configs() {
+    use syrk_repro::core::{try_syrk_1d, try_syrk_2d, try_syrk_3d};
+    let mut rng = DetRng::seed_from_u64(0x5afe);
+    let model = syrk_repro::CostModel::bandwidth_only();
+    let mut oks = 0usize;
+    let mut errs = 0usize;
+    for case in 0..40 {
+        let n1 = rng.gen_range(0, 10);
+        let n2 = rng.gen_range(0, 10);
+        let p = rng.gen_range(0, 8);
+        let c = rng.gen_range(0, 7); // 0, 1, 6 have no construction
+        let p2 = rng.gen_range(0, 4);
+        let a = syrk_repro::dense::seeded_matrix::<f64>(n1, n2, case as u64);
+        for (alg, res) in [
+            ("1d", try_syrk_1d(&a, p, model, None)),
+            ("2d", try_syrk_2d(&a, c, model, None)),
+            ("3d", try_syrk_3d(&a, c, p2, model, None)),
+        ] {
+            match res {
+                Ok(run) => {
+                    oks += 1;
+                    let want = syrk_repro::dense::syrk_full_reference(&a);
+                    let err = syrk_repro::dense::max_abs_diff(&run.c, &want);
+                    assert!(
+                        err < 1e-9,
+                        "case {case} {alg} ({n1},{n2},{p},{c},{p2}): {err}"
+                    );
+                }
+                Err(e) => {
+                    errs += 1;
+                    // The error is typed and displays a cause.
+                    assert!(!e.to_string().is_empty());
+                }
+            }
+        }
+    }
+    // The domain must exercise both outcomes, or the test is vacuous.
+    assert!(oks > 0, "no configuration succeeded");
+    assert!(errs > 0, "no configuration was rejected");
+}
