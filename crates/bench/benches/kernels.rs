@@ -1,22 +1,28 @@
 //! Local kernel benchmarks: the per-rank building blocks of Algorithms
-//! 1–3, A/B-compared against the scalar reference kernels.
+//! 1–3, A/B-compared against the scalar reference kernels and across
+//! the SIMD microkernel ISAs the host can execute.
 //!
 //! Besides printing a table, this bench emits `BENCH_kernels.json`
 //! (override the path with `SYRK_BENCH_JSON`) recording before/after
-//! GFLOP/s for `gemm_nt` and `syrk_packed` and a thread-scaling sweep of
-//! the flop-balanced triangular schedule. `SYRK_BENCH_FAST=1` shrinks
-//! the problem to smoke size.
+//! GFLOP/s for `gemm_nt` and `syrk_packed`, a per-ISA forced sweep
+//! (`force_isa`, 1 thread — the honest apples-to-apples SIMD speedup),
+//! and a thread-scaling sweep of the flop-balanced triangular schedule.
+//! The JSON names the detected and dispatched ISA plus any
+//! `SYRK_FORCE_ISA` override, so a number can never be misattributed to
+//! the wrong kernel. `SYRK_BENCH_FAST=1` shrinks the problem to smoke
+//! size.
 
 use std::fmt::Write as _;
 use syrk_bench::timing::{fast_mode, Group, Measurement};
 use syrk_dense::{
-    available_threads, gemm_flops, gemm_nt, gemm_nt_ref, hardware_threads, limit_threads,
-    seeded_matrix, syrk_flops, syrk_lower_ref, syrk_packed_new, Diag, Matrix,
+    available_isas, available_threads, detected_isa, dispatched_isa, force_isa, gemm_flops,
+    gemm_nt, gemm_nt_ref, hardware_threads, limit_threads, seeded_matrix, syrk_flops,
+    syrk_lower_ref, syrk_packed_new, Diag, Isa, Matrix,
 };
 
 struct Entry {
     kernel: &'static str,
-    variant: &'static str,
+    variant: String,
     threads: usize,
     seconds: f64,
     gflops: f64,
@@ -25,14 +31,14 @@ struct Entry {
 fn record(
     entries: &mut Vec<Entry>,
     kernel: &'static str,
-    variant: &'static str,
+    variant: impl Into<String>,
     threads: usize,
     m: &Measurement,
     flops: u64,
 ) {
     entries.push(Entry {
         kernel,
-        variant,
+        variant: variant.into(),
         threads,
         seconds: m.median,
         gflops: m.gflops(flops),
@@ -52,7 +58,8 @@ fn main() {
     let mut entries = Vec::new();
 
     // Single-thread A/B: reference kernels vs the packed register-blocked
-    // kernels, same problem, same thread count.
+    // kernels under the ambient dispatch, same problem, same thread
+    // count.
     let mut g = Group::new(&format!("kernels_ab_n{n}_k{k}_1thread"));
     {
         let _guard = limit_threads(1);
@@ -78,6 +85,42 @@ fn main() {
         record(&mut entries, "syrk_packed", "packed", 1, &m, sflops);
     }
 
+    // Per-ISA forced sweep: the same packed kernels pinned to each ISA
+    // the host can execute, one thread. `available_isas` is best-first
+    // with scalar last, so the table reads top ISA → fallback.
+    let isas = available_isas();
+    let mut g = Group::new(&format!("kernels_per_isa_n{n}_k{k}_1thread"));
+    {
+        let _guard = limit_threads(1);
+        for &isa in &isas {
+            let _f = force_isa(isa);
+            let m = g.bench(&format!("gemm_nt_{isa}"), || {
+                let mut out = Matrix::zeros(n, n);
+                gemm_nt(&mut out, &a, &b);
+                out
+            });
+            record(
+                &mut entries,
+                "gemm_nt",
+                format!("packed_{isa}"),
+                1,
+                &m,
+                gflops,
+            );
+            let m = g.bench(&format!("syrk_packed_{isa}"), || {
+                syrk_packed_new(&a, Diag::Inclusive)
+            });
+            record(
+                &mut entries,
+                "syrk_packed",
+                format!("packed_{isa}"),
+                1,
+                &m,
+                sflops,
+            );
+        }
+    }
+
     // Thread scaling of the flop-balanced triangular schedule. On a
     // single-core host the extra threads are OS threads sharing one CPU,
     // so expect ~1×; hardware_threads in the JSON says which case this
@@ -91,21 +134,34 @@ fn main() {
         record(&mut entries, "syrk_packed", "packed", threads, &m, sflops);
     }
 
-    let speedup = |kernel: &str| {
-        let find = |variant: &str| {
-            entries
-                .iter()
-                .find(|e| e.kernel == kernel && e.variant == variant && e.threads == 1)
-                .map(|e| e.seconds)
-        };
-        match (find("reference"), find("packed")) {
-            (Some(r), Some(p)) => r / p,
-            _ => f64::NAN,
-        }
+    let seconds_of = |kernel: &str, variant: &str| {
+        entries
+            .iter()
+            .find(|e| e.kernel == kernel && e.variant == variant && e.threads == 1)
+            .map(|e| e.seconds)
     };
-    let gemm_speedup = speedup("gemm_nt");
-    let syrk_speedup = speedup("syrk_packed");
+    let ratio = |kernel: &str, slow: &str, fast: &str| match (
+        seconds_of(kernel, slow),
+        seconds_of(kernel, fast),
+    ) {
+        (Some(s), Some(f)) => s / f,
+        _ => f64::NAN,
+    };
+    let gemm_speedup = ratio("gemm_nt", "reference", "packed");
+    let syrk_speedup = ratio("syrk_packed", "reference", "packed");
     println!("\nsingle-thread speedup vs reference: gemm_nt {gemm_speedup:.2}x, syrk_packed {syrk_speedup:.2}x");
+
+    // SIMD speedup: best available ISA vs the forced-scalar portable
+    // kernel, packed path both sides. On a scalar-only host both names
+    // are "packed_scalar" and the ratio is exactly the measured 1.0×.
+    let best = isas.first().copied().unwrap_or(Isa::Scalar);
+    let scalar_variant = format!("packed_{}", Isa::Scalar);
+    let best_variant = format!("packed_{best}");
+    let gemm_simd = ratio("gemm_nt", &scalar_variant, &best_variant);
+    let syrk_simd = ratio("syrk_packed", &scalar_variant, &best_variant);
+    println!(
+        "SIMD speedup ({best} vs scalar, 1 thread): gemm_nt {gemm_simd:.2}x, syrk_packed {syrk_simd:.2}x"
+    );
 
     // Hand-rolled JSON (the workspace has no serializer dependency).
     // Hardware parallelism and the effective thread count (after any
@@ -113,6 +169,9 @@ fn main() {
     // a big machine and a thread-starved host look identical otherwise.
     let hw = hardware_threads();
     let effective = available_threads();
+    let forced_env = std::env::var("SYRK_FORCE_ISA")
+        .map(|v| format!("\"{v}\""))
+        .unwrap_or_else(|_| "null".into());
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"kernels\",");
@@ -121,9 +180,24 @@ fn main() {
     let _ = writeln!(json, "  \"fast_mode\": {},", fast_mode());
     let _ = writeln!(json, "  \"hardware_threads\": {hw},");
     let _ = writeln!(json, "  \"available_threads\": {effective},");
+    let _ = writeln!(json, "  \"detected_isa\": \"{}\",", detected_isa());
+    let _ = writeln!(json, "  \"dispatched_isa\": \"{}\",", dispatched_isa());
+    let _ = writeln!(json, "  \"forced_isa_env\": {forced_env},");
+    let _ = writeln!(
+        json,
+        "  \"available_isas\": [{}],",
+        isas.iter()
+            .map(|i| format!("\"{i}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     let _ = writeln!(
         json,
         "  \"single_thread_speedup\": {{ \"gemm_nt\": {gemm_speedup:.3}, \"syrk_packed\": {syrk_speedup:.3} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"simd_speedup\": {{ \"best_isa\": \"{best}\", \"gemm_nt\": {gemm_simd:.3}, \"syrk_packed\": {syrk_simd:.3} }},"
     );
     let _ = writeln!(json, "  \"results\": [");
     for (i, e) in entries.iter().enumerate() {

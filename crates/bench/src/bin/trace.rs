@@ -20,7 +20,7 @@ use syrk_core::{
     attribute_bounds, plan, try_syrk_1d_traced, try_syrk_2d_traced, try_syrk_3d_traced, Plan,
     SyrkError, SyrkRunResult,
 };
-use syrk_dense::{kernel_stats, seeded_matrix, Matrix};
+use syrk_dense::{detected_isa, dispatched_isa, kernel_stats, seeded_matrix, Matrix};
 use syrk_machine::{chrome_trace_json, timelines_csv, CostModel, EventKind, FaultPlan, Timeline};
 
 const USAGE: &str = "\
@@ -195,6 +195,22 @@ fn main() {
     println!(
         "kernel runtime: {} steals, arena {} hits / {} misses / {} bytes allocated",
         kernels.steals, kernels.arena_hits, kernels.arena_misses, kernels.arena_alloc_bytes,
+    );
+    let per_isa = kernels
+        .isa_calls_by_name()
+        .into_iter()
+        .map(|(name, calls)| format!("{name} {calls}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!(
+        "kernel dispatch: isa {} (detected {}), per-isa microkernel calls: {}",
+        dispatched_isa(),
+        detected_isa(),
+        if per_isa.is_empty() {
+            String::from("(none)")
+        } else {
+            per_isa
+        },
     );
 
     let dir = std::path::Path::new("target/experiments");

@@ -7,7 +7,7 @@
 
 use crate::arena;
 use crate::matrix::Matrix;
-use crate::microkernel::{microkernel, microkernel_wide, Acc, MR, NR};
+use crate::microkernel::{flatten_acc, microkernel_wide, MAX_ACC, MR, NR};
 use crate::pack::{pack_rows, packed_panel_len, panel_offset};
 use crate::parallel::{available_threads, par_for_each_task, steal_task_count};
 use crate::scalar::Scalar;
@@ -97,15 +97,18 @@ fn cholesky_unblocked<T: Scalar>(g: &Matrix<T>) -> Result<Matrix<T>, CholeskyErr
 /// microkernel (the SYRK shape is where the cubic work lives).
 fn cholesky_blocked<T: Scalar>(g: &Matrix<T>) -> Result<Matrix<T>, CholeskyError> {
     let n = g.rows();
+    let d = T::dispatch();
+    let (mr, nr) = (d.spec.mr, d.spec.nr);
     // Work in place on the lower triangle; the strict upper stays zero.
     let mut l = Matrix::from_fn(n, n, |i, j| if j <= i { g[(i, j)] } else { T::zero() });
     // Arena-backed panel workspace, sized once for the largest trailing
-    // pack (the first iteration's) so later packs never reallocate.
-    let mut panel = arena::acquire::<T>(packed_panel_len(
-        n.saturating_sub(CHOLESKY_BLOCK),
-        CHOLESKY_BLOCK,
-        MR,
-    ));
+    // pack (the first iteration's) so later packs never reallocate. The
+    // column side gets its own pack at lane width nr when the dispatched
+    // tile is rectangular; square tiles read both sides from one pack.
+    let trailing_cap = n.saturating_sub(CHOLESKY_BLOCK);
+    let mut panel = arena::acquire::<T>(packed_panel_len(trailing_cap, CHOLESKY_BLOCK, mr));
+    let mut panel_col =
+        (mr != nr).then(|| arena::acquire::<T>(packed_panel_len(trailing_cap, CHOLESKY_BLOCK, nr)));
     for k0 in (0..n).step_by(CHOLESKY_BLOCK) {
         let nb = CHOLESKY_BLOCK.min(n - k0);
         let k1 = k0 + nb;
@@ -149,14 +152,18 @@ fn cholesky_blocked<T: Scalar>(g: &Matrix<T>) -> Result<Matrix<T>, CholeskyError
         // packing would alias the read with concurrent writes), then
         // flop-balanced, work-stolen row chunks of the trailing triangle
         // run in parallel — chunk rows are contiguous slices of the
-        // matrix. f64 sweeps dual-panel wide tiles away from chunk tails.
+        // matrix. The scalar-ISA f64 path sweeps dual-panel wide tiles
+        // away from chunk tails.
         let trailing = n - k1;
-        pack_rows(panel.vec_mut(), &l, k1..n, k0..k1, MR);
+        pack_rows(panel.vec_mut(), &l, k1..n, k0..k1, mr);
+        if let Some(pc) = panel_col.as_mut() {
+            pack_rows(pc.vec_mut(), &l, k1..n, k0..k1, nr);
+        }
         let chunks = balanced_triangle_chunks(
             trailing,
             crate::packed::Diag::Inclusive,
             steal_task_count(available_threads()),
-            MR,
+            mr,
         );
         let mut rest = &mut l.as_mut_slice()[k1 * n..];
         let mut tasks = Vec::with_capacity(chunks.len());
@@ -166,45 +173,65 @@ fn cholesky_blocked<T: Scalar>(g: &Matrix<T>) -> Result<Matrix<T>, CholeskyError
             rest = tail;
         }
         let panel: &[T] = panel.vec_mut();
-        // Subtract `acc`'s leading `rr` rows from the trailing triangle,
-        // clamping each row `i` to its inclusive diagonal bound.
-        let store = |lbuf: &mut [T], acc: &Acc<T>, row0: usize, it: usize, rr: usize, j0: usize| {
-            for (u, arow) in acc.iter().enumerate().take(rr) {
+        let pcol: &[T] = match panel_col.as_mut() {
+            Some(pc) => pc.vec_mut(),
+            None => panel,
+        };
+        // Subtract the leading `rr` rows of the row-major `acc` tile
+        // (row stride `nrs`) from the trailing triangle, clamping each
+        // row `i` to its inclusive diagonal bound.
+        let store = |lbuf: &mut [T],
+                     acc: &[T],
+                     nrs: usize,
+                     row0: usize,
+                     it: usize,
+                     rr: usize,
+                     j0: usize| {
+            for u in 0..rr {
                 let i = it + u;
-                let jend = (j0 + NR).min(i + 1);
+                let jend = (j0 + nrs).min(i + 1);
                 if jend <= j0 {
                     continue;
                 }
                 let off = (i - row0) * n + k1 + j0;
                 let dst = &mut lbuf[off..off + jend - j0];
-                for (d, &v) in dst.iter_mut().zip(arow.iter()) {
+                for (d, &v) in dst.iter_mut().zip(&acc[u * nrs..]) {
                     *d -= v;
                 }
             }
         };
         par_for_each_task(tasks, |_, (rows, lbuf)| {
+            let mut acc = [T::zero(); MAX_ACC];
+            let mut tiles = 0u64;
             let mut it = rows.start;
             while it < rows.end {
-                let wide = T::WIDE_KERNEL && it + 2 * MR <= rows.end;
-                let take = if wide { 2 * MR } else { MR.min(rows.end - it) };
-                let ap = &panel[panel_offset(it, nb, MR)..];
+                let wide = d.spec.wide && it + 2 * mr <= rows.end;
+                let take = if wide { 2 * mr } else { mr.min(rows.end - it) };
+                let ap = &panel[panel_offset(it, nb, mr)..];
                 if wide {
+                    // Scalar-ISA only, where mr == MR, nr == NR and the
+                    // column pack aliases the row pack.
                     let ap1 = &panel[panel_offset(it + MR, nb, MR)..];
                     for j0 in (0..it + take).step_by(NR) {
                         let bp = &panel[panel_offset(j0, nb, NR)..];
                         let (acc0, acc1) = microkernel_wide(nb, ap, ap1, bp);
-                        store(lbuf, &acc0, rows.start, it, MR, j0);
-                        store(lbuf, &acc1, rows.start, it + MR, MR, j0);
+                        tiles += 2;
+                        flatten_acc(&acc0, &mut acc[..MR * NR]);
+                        store(lbuf, &acc[..MR * NR], NR, rows.start, it, MR, j0);
+                        flatten_acc(&acc1, &mut acc[..MR * NR]);
+                        store(lbuf, &acc[..MR * NR], NR, rows.start, it + MR, MR, j0);
                     }
                 } else {
-                    for j0 in (0..it + take).step_by(NR) {
-                        let bp = &panel[panel_offset(j0, nb, NR)..];
-                        let acc = microkernel(nb, ap, bp);
-                        store(lbuf, &acc, rows.start, it, take, j0);
+                    for j0 in (0..it + take).step_by(nr) {
+                        let bp = &pcol[panel_offset(j0, nb, nr)..];
+                        (d.kernel)(nb, ap, bp, &mut acc[..mr * nr]);
+                        tiles += 1;
+                        store(lbuf, &acc[..mr * nr], nr, rows.start, it, take, j0);
                     }
                 }
                 it += take;
             }
+            crate::stats::add_microkernel_calls(d.spec.isa, tiles);
         });
     }
     Ok(l)

@@ -21,7 +21,7 @@
 
 use crate::arena;
 use crate::matrix::Matrix;
-use crate::microkernel::{microkernel, microkernel_wide, store_add, MR, NR};
+use crate::microkernel::{flatten_acc, microkernel_wide, store_add, MAX_ACC, MR, NR};
 use crate::pack::{
     pack_cols_into, pack_rows, pack_rows_into, packed_panel_len, panel_offset, SharedPack,
 };
@@ -73,18 +73,10 @@ pub fn gemm_nt_ref<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
     }
 }
 
-/// Inner-dimension panel width: one `KC`-deep strip of packed A and B is
-/// live at a time (`KC·(MC + NC)` scalars ≈ L2-resident for f64).
-pub(crate) const KC: usize = 256;
-/// Row-block height packed per task iteration (A block: `MC × KC`).
-pub(crate) const MC: usize = 64;
-/// Column-block width swept per A block (B panel window: `NC × KC`).
-pub(crate) const NC: usize = 256;
-
-/// Evenly sized `MR`-aligned row chunks of `m` rows, at most `parts` of
+/// Evenly sized `mr`-aligned row chunks of `m` rows, at most `parts` of
 /// them (callers oversubscribe the worker count so stealing has slack).
-fn row_chunks(m: usize, parts: usize) -> Vec<Range<usize>> {
-    balanced_chunks_by_cost(&vec![1u64; m], parts, MR)
+fn row_chunks(m: usize, parts: usize, mr: usize) -> Vec<Range<usize>> {
+    balanced_chunks_by_cost(&vec![1u64; m], parts, mr)
 }
 
 /// Split `c`'s backing slice at chunk row boundaries (rows are contiguous
@@ -104,67 +96,84 @@ fn split_rows<'c, T: Scalar>(
     out
 }
 
-/// The packed-kernel GEMM driver. The B-side pack of the current inner
-/// panel is a [`SharedPack`] over all `n` packed columns, published in
-/// `NC`-column blocks by whichever worker first sweeps each window;
-/// `pack_b(cols, ks, dst)` fills one such block for inner range `ks`.
-/// Each task packs its own A row blocks into an arena buffer and sweeps
-/// register tiles (dual-panel wide on scalars that enable it).
+/// The packed-kernel GEMM driver. The tile geometry and blocking come
+/// from the dispatched [`crate::microkernel::KernelSpec`], resolved once
+/// per call so every tile of one GEMM runs the same kernel. The B-side
+/// pack of the current inner panel is a [`SharedPack`] over all `n`
+/// packed columns, published in `nc`-column blocks by whichever worker
+/// first sweeps each window; `pack_b(cols, ks, nr, dst)` fills one such
+/// block for inner range `ks` at lane width `nr`. Each task packs its
+/// own A row blocks into an arena buffer and sweeps register tiles
+/// (dual-panel wide on the scalar-ISA f64 path).
 fn gemm_driver<T: Scalar>(
     c: &mut Matrix<T>,
     a: &Matrix<T>,
-    pack_b: impl Fn(Range<usize>, Range<usize>, &mut [T]) + Sync,
+    pack_b: impl Fn(Range<usize>, Range<usize>, usize, &mut [T]) + Sync,
 ) {
+    let d = T::dispatch();
+    let (mr, nr, kc, mc, nc) = (d.spec.mr, d.spec.nr, d.spec.kc, d.spec.mc, d.spec.nc);
     let (m, k) = a.shape();
     let n = c.cols();
     let workers = crate::parallel::available_threads();
     // Oversubscribe row chunks so idle workers can steal; which chunk a
-    // tile lands in never affects its value.
-    let chunks = row_chunks(m, steal_task_count(workers));
-    let kc_cap = KC.min(k);
-    let mut bbuf = arena::acquire::<T>(packed_panel_len(n, kc_cap, NR));
-    for p0 in (0..k).step_by(KC) {
-        let pb = KC.min(k - p0);
+    // tile lands in never affects its value (chunk boundaries stay on
+    // the global mr-tile grid).
+    let chunks = row_chunks(m, steal_task_count(workers), mr);
+    let kc_cap = kc.min(k);
+    let mut bbuf = arena::acquire::<T>(packed_panel_len(n, kc_cap, nr));
+    for p0 in (0..k).step_by(kc) {
+        let pb = kc.min(k - p0);
         let ks = p0..p0 + pb;
-        let bshared = SharedPack::new(bbuf.resized(packed_panel_len(n, pb, NR)), n, pb, NR, NC);
-        let pack_b_block = |cols: Range<usize>, dst: &mut [T]| pack_b(cols, ks.clone(), dst);
+        let bshared = SharedPack::new(bbuf.resized(packed_panel_len(n, pb, nr)), n, pb, nr, nc);
+        let pack_b_block = |cols: Range<usize>, dst: &mut [T]| pack_b(cols, ks.clone(), nr, dst);
         let tasks = split_rows(c, &chunks);
         par_for_each_task(tasks, |_, (rows, cbuf)| {
-            let mut apack = arena::acquire::<T>(packed_panel_len(MC.min(rows.len()), pb, MR));
+            let mut apack = arena::acquire::<T>(packed_panel_len(mc.min(rows.len()), pb, mr));
+            let mut acc = [T::zero(); MAX_ACC];
             let mut tiles = 0u64;
-            for i0 in (rows.start..rows.end).step_by(MC) {
-                let ib = MC.min(rows.end - i0);
-                pack_rows(apack.vec_mut(), a, i0..i0 + ib, ks.clone(), MR);
-                for jc in (0..n).step_by(NC) {
-                    let jc_end = (jc + NC).min(n);
-                    // NC-aligned windows map 1:1 onto publication blocks.
+            for i0 in (rows.start..rows.end).step_by(mc) {
+                let ib = mc.min(rows.end - i0);
+                pack_rows(apack.vec_mut(), a, i0..i0 + ib, ks.clone(), mr);
+                for jc in (0..n).step_by(nc) {
+                    let jc_end = (jc + nc).min(n);
+                    // nc-aligned windows map 1:1 onto publication blocks.
                     bshared.ensure_rows(jc..jc_end, &pack_b_block);
                     let mut it = 0;
                     while it < ib {
-                        let wide = T::WIDE_KERNEL && it + 2 * MR <= ib;
-                        let take = if wide { 2 * MR } else { MR.min(ib - it) };
-                        let ap0 = &apack.vec_mut()[panel_offset(it, pb, MR)..];
-                        for j0 in (jc..jc_end).step_by(NR) {
-                            let cc = NR.min(jc_end - j0);
+                        let wide = d.spec.wide && it + 2 * mr <= ib;
+                        let take = if wide { 2 * mr } else { mr.min(ib - it) };
+                        let ap0 = &apack.vec_mut()[panel_offset(it, pb, mr)..];
+                        for j0 in (jc..jc_end).step_by(nr) {
+                            let cc = nr.min(jc_end - j0);
                             let bp = bshared.panel(j0);
                             let off = (i0 - rows.start + it) * n + j0;
                             if wide {
+                                // Scalar-ISA only, where mr == MR, nr == NR.
                                 let ap1 = &ap0[panel_offset(MR, pb, MR)..];
                                 let (acc0, acc1) = microkernel_wide(pb, ap0, ap1, bp);
                                 tiles += 2;
-                                store_add(&mut cbuf[off..], n, MR, cc, &acc0);
-                                store_add(&mut cbuf[off + MR * n..], n, MR, cc, &acc1);
+                                flatten_acc(&acc0, &mut acc[..MR * NR]);
+                                store_add(&mut cbuf[off..], n, MR, cc, &acc[..MR * NR], NR);
+                                flatten_acc(&acc1, &mut acc[..MR * NR]);
+                                store_add(
+                                    &mut cbuf[off + MR * n..],
+                                    n,
+                                    MR,
+                                    cc,
+                                    &acc[..MR * NR],
+                                    NR,
+                                );
                             } else {
-                                let acc = microkernel(pb, ap0, bp);
+                                (d.kernel)(pb, ap0, bp, &mut acc[..mr * nr]);
                                 tiles += 1;
-                                store_add(&mut cbuf[off..], n, take, cc, &acc);
+                                store_add(&mut cbuf[off..], n, take, cc, &acc[..mr * nr], nr);
                             }
                         }
                         it += take;
                     }
                 }
             }
-            crate::stats::add_microkernel_calls(tiles);
+            crate::stats::add_microkernel_calls(d.spec.isa, tiles);
         });
     }
 }
@@ -179,7 +188,7 @@ pub fn gemm_nt<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
         return;
     }
     // Bᵀ's columns are B's rows, so the B-side pack is a row pack.
-    gemm_driver(c, a, |cols, ks, dst| pack_rows_into(dst, b, cols, ks, NR));
+    gemm_driver(c, a, |cols, ks, r, dst| pack_rows_into(dst, b, cols, ks, r));
 }
 
 /// Packed, register-blocked, multi-threaded `C += A·B`.
@@ -191,7 +200,7 @@ pub fn gemm_nn<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    gemm_driver(c, a, |cols, ks, dst| pack_cols_into(dst, b, ks, cols, NR));
+    gemm_driver(c, a, |cols, ks, r, dst| pack_cols_into(dst, b, ks, cols, r));
 }
 
 /// Convenience: `A·Bᵀ` into a fresh matrix.
@@ -312,6 +321,9 @@ mod tests {
 
     #[test]
     fn result_independent_of_thread_count() {
+        // Bitwise assertion: a concurrent ISA-override flip mid-run
+        // would change rounding, so serialize against the force tests.
+        let _serial = crate::isa::test_lock::serial();
         let a = seeded_matrix::<f64>(70, 90, 31);
         let b = seeded_matrix::<f64>(50, 90, 32);
         let one = {

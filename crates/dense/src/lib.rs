@@ -24,6 +24,7 @@ pub mod arena;
 mod blocking;
 mod cholesky;
 mod gemm;
+pub mod isa;
 mod matrix;
 pub mod microkernel;
 mod norms;
@@ -33,6 +34,7 @@ pub mod parallel;
 mod rng;
 mod scalar;
 pub mod schedule;
+mod simd;
 pub mod stats;
 mod syr2k;
 mod syrk;
@@ -43,7 +45,9 @@ pub use cholesky::{
     cholesky, trsm_left_lower, trsm_left_transpose, trsm_right_transpose, CholeskyError,
 };
 pub use gemm::{gemm_flops, gemm_nn, gemm_nn_ref, gemm_nt, gemm_nt_ref, mul_nn, mul_nt};
+pub use isa::{available_isas, detected_isa, dispatched_isa, force_isa, ForcedIsaGuard, Isa};
 pub use matrix::Matrix;
+pub use microkernel::{dispatch_f64, Dispatch, KernelSpec};
 pub use norms::{frobenius, max_abs_diff, max_abs_diff_lower, syrk_tolerance};
 pub use packed::{Diag, PackedLower};
 pub use parallel::{

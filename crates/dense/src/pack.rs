@@ -27,10 +27,10 @@
 //! * [`SharedPack`] — a panel buffer **shared across workers** with
 //!   once-cell-style per-block publication: the first worker to need a
 //!   `block_rows`-row block packs it (exactly once), everyone else reads
-//!   the published panels. This is what lets SYRK's symmetric
-//!   `MR == NR` trick feed *one* packed copy of A to both operands of
-//!   every register tile across all workers, instead of each chunk
-//!   packing its own overlapping copy.
+//!   the published panels. This is what lets SYRK feed each packed copy
+//!   of A to every register tile across all workers, instead of each
+//!   chunk packing its own overlapping copy — when the dispatched tile
+//!   is square (`mr == nr`) *one* pack even serves both operands.
 
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;

@@ -37,6 +37,13 @@ pub trait Scalar:
     /// so this is purely a performance switch — results never depend on
     /// it.
     const WIDE_KERNEL: bool;
+    /// The kernel dispatch for this scalar: tile geometry plus kernel
+    /// function, resolved from the process ISA selection
+    /// ([`crate::isa::dispatched_isa`]). `f64` picks among the explicit
+    /// SIMD kernels; every other scalar always runs the portable kernel.
+    /// Drivers call this once per kernel invocation so one call never
+    /// mixes ISAs.
+    fn dispatch() -> crate::microkernel::Dispatch<Self>;
     /// Additive identity.
     fn zero() -> Self;
     /// Multiplicative identity.
@@ -54,9 +61,13 @@ pub trait Scalar:
 }
 
 macro_rules! impl_scalar {
-    ($t:ty, $wide:expr) => {
+    ($t:ty, $wide:expr, $dispatch:expr) => {
         impl Scalar for $t {
             const WIDE_KERNEL: bool = $wide;
+            #[inline]
+            fn dispatch() -> crate::microkernel::Dispatch<Self> {
+                $dispatch
+            }
             #[inline(always)]
             fn zero() -> Self {
                 0.0
@@ -89,8 +100,12 @@ macro_rules! impl_scalar {
     };
 }
 
-impl_scalar!(f32, false);
-impl_scalar!(f64, true);
+impl_scalar!(
+    f32,
+    false,
+    crate::microkernel::scalar_dispatch::<Self>(Self::WIDE_KERNEL)
+);
+impl_scalar!(f64, true, crate::microkernel::dispatch_f64());
 
 #[cfg(test)]
 mod tests {

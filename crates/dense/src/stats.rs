@@ -16,6 +16,7 @@
 //! per process; call [`reset_kernel_stats`] before the region you want to
 //! measure and [`kernel_stats`] after.
 
+use crate::isa::Isa;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static PACK_WORDS: AtomicU64 = AtomicU64::new(0);
@@ -24,6 +25,10 @@ static ARENA_HITS: AtomicU64 = AtomicU64::new(0);
 static ARENA_MISSES: AtomicU64 = AtomicU64::new(0);
 static ARENA_ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
 static STEALS: AtomicU64 = AtomicU64::new(0);
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+/// Microkernel calls per dispatched ISA, indexed by [`Isa::index`].
+static ISA_CALLS: [AtomicU64; Isa::COUNT] = [ZERO; Isa::COUNT];
 
 /// A snapshot of the kernel-engine counters (see [`kernel_stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -43,6 +48,11 @@ pub struct KernelStats {
     pub arena_alloc_bytes: u64,
     /// Tasks executed by a worker other than the one they were dealt to.
     pub steals: u64,
+    /// Microkernel calls attributed to each dispatched ISA, indexed by
+    /// [`Isa::index`] (sums to `microkernel_calls`). Shows which kernel
+    /// actually ran — a forced-scalar run and an AVX-512 run are
+    /// otherwise indistinguishable from the aggregate count.
+    pub isa_calls: [u64; Isa::COUNT],
 }
 
 impl KernelStats {
@@ -60,7 +70,20 @@ impl KernelStats {
                 .arena_alloc_bytes
                 .saturating_sub(earlier.arena_alloc_bytes),
             steals: self.steals.saturating_sub(earlier.steals),
+            isa_calls: std::array::from_fn(|i| {
+                self.isa_calls[i].saturating_sub(earlier.isa_calls[i])
+            }),
         }
+    }
+
+    /// `(name, calls)` per ISA with a nonzero count — the reporting shape
+    /// the `trace` binary and the benches print.
+    pub fn isa_calls_by_name(&self) -> Vec<(&'static str, u64)> {
+        Isa::ALL
+            .iter()
+            .map(|isa| (isa.name(), self.isa_calls[isa.index()]))
+            .filter(|&(_, n)| n != 0)
+            .collect()
     }
 }
 
@@ -73,6 +96,7 @@ pub fn kernel_stats() -> KernelStats {
         arena_misses: ARENA_MISSES.load(Ordering::Relaxed),
         arena_alloc_bytes: ARENA_ALLOC_BYTES.load(Ordering::Relaxed),
         steals: STEALS.load(Ordering::Relaxed),
+        isa_calls: std::array::from_fn(|i| ISA_CALLS[i].load(Ordering::Relaxed)),
     }
 }
 
@@ -84,14 +108,18 @@ pub fn reset_kernel_stats() {
     ARENA_MISSES.store(0, Ordering::Relaxed);
     ARENA_ALLOC_BYTES.store(0, Ordering::Relaxed);
     STEALS.store(0, Ordering::Relaxed);
+    for c in &ISA_CALLS {
+        c.store(0, Ordering::Relaxed);
+    }
 }
 
 pub(crate) fn add_pack_words(n: usize) {
     PACK_WORDS.fetch_add(n as u64, Ordering::Relaxed);
 }
 
-pub(crate) fn add_microkernel_calls(n: u64) {
+pub(crate) fn add_microkernel_calls(isa: Isa, n: u64) {
     MICROKERNEL_CALLS.fetch_add(n, Ordering::Relaxed);
+    ISA_CALLS[isa.index()].fetch_add(n, Ordering::Relaxed);
 }
 
 pub(crate) fn add_arena_hit() {
@@ -122,7 +150,7 @@ mod tests {
         // assert on deltas driven from here.
         let before = kernel_stats();
         add_pack_words(128);
-        add_microkernel_calls(3);
+        add_microkernel_calls(Isa::Scalar, 3);
         add_arena_hit();
         add_arena_miss();
         add_arena_alloc_bytes(4096);
@@ -135,6 +163,11 @@ mod tests {
         assert!(delta.arena_misses >= 1);
         assert!(delta.arena_alloc_bytes >= 4096);
         assert!(delta.steals >= 2);
+        assert!(delta.isa_calls[Isa::Scalar.index()] >= 3);
+        assert!(delta
+            .isa_calls_by_name()
+            .iter()
+            .any(|&(name, n)| name == "scalar" && n >= 3));
     }
 
     #[test]
@@ -146,6 +179,7 @@ mod tests {
             arena_misses: 0,
             arena_alloc_bytes: 0,
             steals: 0,
+            isa_calls: [1, 0, 0, 0],
         };
         let b = KernelStats {
             pack_words: 5,
@@ -154,11 +188,13 @@ mod tests {
             arena_misses: 7,
             arena_alloc_bytes: 7,
             steals: 7,
+            isa_calls: [7, 7, 7, 7],
         };
         let d = a.since(&b);
         assert_eq!(d.pack_words, 0);
         assert_eq!(d.microkernel_calls, 0);
         assert_eq!(d.arena_hits, 0);
         assert_eq!(d.arena_alloc_bytes, 0);
+        assert_eq!(d.isa_calls, [0; Isa::COUNT]);
     }
 }

@@ -41,7 +41,8 @@ pub fn syr2k_lower_ref<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T
 /// Packed SYR2K: accumulate the lower triangle of `A·Bᵀ + B·Aᵀ` into
 /// packed storage, via the register-blocked driver shared with
 /// [`crate::syrk_packed`]: both operands are full-height shared packs
-/// published cooperatively across the work-stealing workers, and each
+/// published cooperatively across the work-stealing workers (per side of
+/// the tile when the dispatched kernel is rectangular), and each
 /// register tile fuses two (narrow) microkernel calls before the store —
 /// the dual-panel wide path stays off here because the fused tile
 /// already consumes the extra register pressure.

@@ -7,22 +7,26 @@
 //! `2n²k`.
 //!
 //! The packed kernel shares the register-blocked machinery of
-//! [`crate::microkernel`]: per `KC`-wide panel of `A`, *one* k-major
-//! [`SharedPack`] of all rows serves both sides of the product (possible
-//! because `MR == NR`) **across every worker** — `MC`-row blocks are
-//! packed cooperatively, each exactly once behind a publication flag,
-//! instead of serially by the caller or redundantly per chunk. Threads
-//! work-steal flop-balanced row chunks of the packed triangle (see
-//! [`crate::schedule`] — row `i` costs `Θ(i·k)`, so an even row split
-//! would be badly skewed), pulling pack buffers from the workspace
+//! [`crate::microkernel`], with geometry taken from the dispatched
+//! [`crate::microkernel::KernelSpec`]: per `kc`-wide panel of `A`,
+//! k-major [`SharedPack`]s of all rows serve the two sides of the
+//! product **across every worker** — row blocks are packed
+//! cooperatively, each exactly once behind a publication flag, instead
+//! of serially by the caller or redundantly per chunk. When the
+//! dispatched tile is square (`mr == nr`, the scalar spec) *one* shared
+//! pack feeds both operands of every register tile; rectangular SIMD
+//! tiles keep a second pack at lane width `nr` for the column side.
+//! Threads work-steal flop-balanced row chunks of the packed triangle
+//! (see [`crate::schedule`] — row `i` costs `Θ(i·k)`, so an even row
+//! split would be badly skewed), pulling pack buffers from the workspace
 //! [`crate::arena`] so the steady state allocates nothing. Diagonal
 //! register tiles are computed in full and stored clamped to `j ≤ i`
-//! (or `j < i`); f64 uses the dual-panel wide microkernel away from
-//! chunk tails.
+//! (or `j < i`); the scalar-ISA f64 path uses the dual-panel wide
+//! microkernel away from chunk tails.
 
 use crate::arena;
 use crate::matrix::Matrix;
-use crate::microkernel::{acc_add, microkernel, microkernel_wide, Acc, MR, NR};
+use crate::microkernel::{flatten_acc, microkernel_wide, MAX_ACC, MR, NR};
 use crate::pack::{pack_rows_into, packed_panel_len, SharedPack};
 use crate::packed::{Diag, PackedLower};
 use crate::parallel::{available_threads, par_for_each_task, steal_task_count};
@@ -77,41 +81,45 @@ fn row_end(diag: Diag, i: usize) -> usize {
     }
 }
 
-/// Add `acc`'s leading `rr` rows into the packed chunk slice `cbuf`
-/// (whose first element is packed offset `base`), clamping each row to
-/// its `diag` column bound.
+/// Add the leading `rr` rows of the row-major `acc` tile (row stride
+/// `nr`) into the packed chunk slice `cbuf` (whose first element is
+/// packed offset `base`), clamping each row to its `diag` column bound.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn store_packed_tile<T: Scalar>(
     diag: Diag,
     base: usize,
     cbuf: &mut [T],
-    acc: &Acc<T>,
+    acc: &[T],
+    nr: usize,
     it: usize,
     rr: usize,
     j0: usize,
 ) {
     // Store row by row: packed rows are contiguous, and tiles straddling
     // the diagonal clamp to the row's column bound.
-    for (u, arow) in acc.iter().enumerate().take(rr) {
+    for u in 0..rr {
         let i = it + u;
-        let jend = (j0 + NR).min(row_end(diag, i));
+        let jend = (j0 + nr).min(row_end(diag, i));
         if jend <= j0 {
             continue;
         }
         let off = row_off(diag, i) - base + j0;
         let dst = &mut cbuf[off..off + jend - j0];
-        for (d, &v) in dst.iter_mut().zip(arow.iter()) {
+        for (d, &v) in dst.iter_mut().zip(&acc[u * nr..]) {
             *d += v;
         }
     }
 }
 
 /// Shared packed-triangle driver for SYRK (`b = None`, `C += A·Aᵀ`) and
-/// SYR2K (`b = Some`, `C += A·Bᵀ + B·Aᵀ`). `KC`-panel loop outside,
+/// SYR2K (`b = Some`, `C += A·Bᵀ + B·Aᵀ`). `kc`-panel loop outside,
 /// flop-balanced work-stolen row chunks inside; every packed entry is
 /// accumulated in ascending-k order independent of the chunking, and
-/// each `MC`-row block of the shared pack is packed exactly once per
-/// panel by whichever worker first needs it.
+/// each row block of a shared pack is packed exactly once per panel by
+/// whichever worker first needs it. Square tiles (`mr == nr`) alias one
+/// pack per operand matrix for both sides of the product; rectangular
+/// SIMD tiles add a second pack at lane width `nr` for the column side.
 pub(crate) fn packed_rank_update<T: Scalar>(
     c: &mut PackedLower<T>,
     a: &Matrix<T>,
@@ -129,87 +137,131 @@ pub(crate) fn packed_rank_update<T: Scalar>(
     if n == 0 || k == 0 {
         return;
     }
+    let d = T::dispatch();
+    let (mr, nr, kc, mc) = (d.spec.mr, d.spec.nr, d.spec.kc, d.spec.mc);
+    let square = mr == nr;
+    // Column-side publication granularity: the smallest nr-multiple
+    // covering an mc-row block (SharedPack blocks must align to lanes).
+    let col_block = mc.div_ceil(nr) * nr;
     let diag = c.diag();
     let workers = available_threads();
     // Oversubscribe chunks so idle workers always find something to
     // steal; the chunk a tile lands in never affects its value.
-    let chunks = balanced_triangle_chunks(n, diag, steal_task_count(workers), MR);
-    let kc_cap = crate::gemm::KC.min(k);
-    let mut apack = arena::acquire::<T>(packed_panel_len(n, kc_cap, MR));
-    let mut bpack = b.map(|_| arena::acquire::<T>(packed_panel_len(n, kc_cap, MR)));
-    for p0 in (0..k).step_by(crate::gemm::KC) {
-        let pb = crate::gemm::KC.min(k - p0);
+    let chunks = balanced_triangle_chunks(n, diag, steal_task_count(workers), mr);
+    let kc_cap = kc.min(k);
+    let mut a_row_buf = arena::acquire::<T>(packed_panel_len(n, kc_cap, mr));
+    let mut a_col_buf = (!square).then(|| arena::acquire::<T>(packed_panel_len(n, kc_cap, nr)));
+    let mut b_row_buf = b.map(|_| arena::acquire::<T>(packed_panel_len(n, kc_cap, mr)));
+    let mut b_col_buf =
+        (b.is_some() && !square).then(|| arena::acquire::<T>(packed_panel_len(n, kc_cap, nr)));
+    for p0 in (0..k).step_by(kc) {
+        let pb = kc.min(k - p0);
         let cols = p0..p0 + pb;
-        // One full-height shared pack serves the row side and the column
-        // side of every register tile (MR == NR) for *all* workers;
-        // MC-row blocks publish once on first demand.
-        let ashared = SharedPack::new(
-            apack.resized(packed_panel_len(n, pb, MR)),
+        // Full-height shared packs publish row blocks once on first
+        // demand, for all workers.
+        let a_row = SharedPack::new(
+            a_row_buf.resized(packed_panel_len(n, pb, mr)),
             n,
             pb,
-            MR,
-            crate::gemm::MC,
+            mr,
+            mc,
         );
-        let bshared = bpack.as_mut().map(|bb| {
+        let a_col = a_col_buf.as_mut().map(|buf| {
             SharedPack::new(
-                bb.resized(packed_panel_len(n, pb, MR)),
+                buf.resized(packed_panel_len(n, pb, nr)),
                 n,
                 pb,
-                MR,
-                crate::gemm::MC,
+                nr,
+                col_block,
             )
         });
-        let pack_a = |rows: Range<usize>, dst: &mut [T]| {
-            pack_rows_into(dst, a, rows, cols.clone(), MR);
+        let b_row = b_row_buf
+            .as_mut()
+            .map(|buf| SharedPack::new(buf.resized(packed_panel_len(n, pb, mr)), n, pb, mr, mc));
+        let b_col = b_col_buf.as_mut().map(|buf| {
+            SharedPack::new(
+                buf.resized(packed_panel_len(n, pb, nr)),
+                n,
+                pb,
+                nr,
+                col_block,
+            )
+        });
+        let pack_a_row = |rows: Range<usize>, dst: &mut [T]| {
+            pack_rows_into(dst, a, rows, cols.clone(), mr);
         };
-        let pack_b = |rows: Range<usize>, dst: &mut [T]| {
-            pack_rows_into(dst, b.expect("bshared implies b"), rows, cols.clone(), MR);
+        let pack_a_col = |rows: Range<usize>, dst: &mut [T]| {
+            pack_rows_into(dst, a, rows, cols.clone(), nr);
         };
+        let pack_b_row = |rows: Range<usize>, dst: &mut [T]| {
+            pack_rows_into(dst, b.expect("b_row implies b"), rows, cols.clone(), mr);
+        };
+        let pack_b_col = |rows: Range<usize>, dst: &mut [T]| {
+            pack_rows_into(dst, b.expect("b_col implies b"), rows, cols.clone(), nr);
+        };
+        // Column-side views: alias the row-side pack when tiles are
+        // square, so SYRK still packs A exactly once per panel.
+        let acol = a_col.as_ref().unwrap_or(&a_row);
+        let bcol = b_col.as_ref().or(b_row.as_ref());
+        let pack_acol: &(dyn Fn(Range<usize>, &mut [T]) + Sync) =
+            if square { &pack_a_row } else { &pack_a_col };
+        let pack_bcol: &(dyn Fn(Range<usize>, &mut [T]) + Sync) =
+            if square { &pack_b_row } else { &pack_b_col };
         let tasks = split_triangle(c, &chunks);
         par_for_each_task(tasks, |_, (rows, cbuf)| {
             let base = row_off(diag, rows.start);
+            let mut acc = [T::zero(); MAX_ACC];
+            let mut acc2 = [T::zero(); MAX_ACC];
             let mut tiles = 0u64;
             let mut it = rows.start;
             while it < rows.end {
-                // Dual-panel wide tiles away from the chunk tail; SYR2K
+                // Dual-panel wide tiles away from the chunk tail
+                // (scalar-ISA only, where mr == MR == nr == NR); SYR2K
                 // keeps the narrow path (its tile fuses two products).
-                let wide = T::WIDE_KERNEL && b.is_none() && it + 2 * MR <= rows.end;
-                let take = if wide { 2 * MR } else { MR.min(rows.end - it) };
+                let wide = d.spec.wide && b.is_none() && it + 2 * mr <= rows.end;
+                let take = if wide { 2 * mr } else { mr.min(rows.end - it) };
                 let colmax = row_end(diag, it + take - 1);
-                ashared.ensure_rows(it..it + take, &pack_a);
-                ashared.ensure_rows(0..colmax, &pack_a);
-                if let Some(bs) = &bshared {
-                    bs.ensure_rows(it..it + take, &pack_b);
-                    bs.ensure_rows(0..colmax, &pack_b);
+                a_row.ensure_rows(it..it + take, &pack_a_row);
+                acol.ensure_rows(0..colmax, &pack_acol);
+                if let Some(brow) = &b_row {
+                    brow.ensure_rows(it..it + take, &pack_b_row);
+                }
+                if let Some(bc) = bcol {
+                    bc.ensure_rows(0..colmax, &pack_bcol);
                 }
                 if wide {
-                    let ap0 = ashared.panel(it);
-                    let ap1 = ashared.panel(it + MR);
+                    let ap0 = a_row.panel(it);
+                    let ap1 = a_row.panel(it + MR);
                     for j0 in (0..colmax).step_by(NR) {
-                        let (acc0, acc1) = microkernel_wide(pb, ap0, ap1, ashared.panel(j0));
+                        let (acc0, acc1) = microkernel_wide(pb, ap0, ap1, acol.panel(j0));
                         tiles += 2;
-                        store_packed_tile(diag, base, cbuf, &acc0, it, MR, j0);
-                        store_packed_tile(diag, base, cbuf, &acc1, it + MR, MR, j0);
+                        flatten_acc(&acc0, &mut acc[..MR * NR]);
+                        store_packed_tile(diag, base, cbuf, &acc[..MR * NR], NR, it, MR, j0);
+                        flatten_acc(&acc1, &mut acc[..MR * NR]);
+                        store_packed_tile(diag, base, cbuf, &acc[..MR * NR], NR, it + MR, MR, j0);
                     }
                 } else {
-                    for j0 in (0..colmax).step_by(NR) {
-                        let acc = if let Some(bs) = &bshared {
+                    for j0 in (0..colmax).step_by(nr) {
+                        if let Some(bc) = bcol {
                             // A·Bᵀ tile plus B·Aᵀ tile, fused before the
-                            // store.
-                            let ab = microkernel(pb, ashared.panel(it), bs.panel(j0));
-                            let ba = microkernel(pb, bs.panel(it), ashared.panel(j0));
+                            // store (ab + ba elementwise, fixed order).
+                            let brow = b_row.as_ref().expect("bcol implies b_row");
+                            (d.kernel)(pb, a_row.panel(it), bc.panel(j0), &mut acc[..mr * nr]);
+                            (d.kernel)(pb, brow.panel(it), acol.panel(j0), &mut acc2[..mr * nr]);
                             tiles += 2;
-                            acc_add(&ab, &ba)
+                            for (x, &y) in acc[..mr * nr].iter_mut().zip(&acc2[..mr * nr]) {
+                                *x += y;
+                            }
                         } else {
+                            (d.kernel)(pb, a_row.panel(it), acol.panel(j0), &mut acc[..mr * nr]);
                             tiles += 1;
-                            microkernel(pb, ashared.panel(it), ashared.panel(j0))
-                        };
-                        store_packed_tile(diag, base, cbuf, &acc, it, take, j0);
+                        }
+                        store_packed_tile(diag, base, cbuf, &acc[..mr * nr], nr, it, take, j0);
                     }
                 }
                 it += take;
             }
-            crate::stats::add_microkernel_calls(tiles);
+            crate::stats::add_microkernel_calls(d.spec.isa, tiles);
         });
     }
 }
@@ -368,6 +420,9 @@ mod tests {
 
     #[test]
     fn packed_result_independent_of_thread_count() {
+        // Bitwise assertion: a concurrent ISA-override flip mid-run
+        // would change rounding, so serialize against the force tests.
+        let _serial = crate::isa::test_lock::serial();
         let a = seeded_matrix::<f64>(101, 67, 13);
         for diag in [Diag::Inclusive, Diag::Strict] {
             let one = {

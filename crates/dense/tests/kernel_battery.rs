@@ -1,14 +1,15 @@
 //! Shape battery for the packed register-blocked kernels: every
-//! combination of dimensions straddling the microkernel tile size
-//! (`MR = NR = 4`), plus tall, wide, and square shapes, compared against
-//! the scalar reference kernels to 1e-10 — and a coverage check that the
-//! flop-balanced triangular schedule tiles the packed triangle exactly
-//! once.
+//! combination of dimensions straddling the portable microkernel tile
+//! size (`MR = NR = 4`), plus tall, wide, and square shapes, compared
+//! against the scalar reference kernels to 1e-10 — plus a forced-ISA
+//! battery that re-runs edge shapes derived from each available ISA's
+//! own tile geometry, and a coverage check that the flop-balanced
+//! triangular schedule tiles the packed triangle exactly once.
 
-use syrk_dense::microkernel::{MR, NR};
+use syrk_dense::microkernel::{dispatch_for_isa_f64, MR, NR};
 use syrk_dense::{
-    balanced_triangle_chunks, gemm_nt, gemm_nt_ref, seeded_matrix, syrk_lower_ref, syrk_packed_new,
-    Diag, Matrix, PackedLower,
+    available_isas, balanced_triangle_chunks, force_isa, gemm_nt, gemm_nt_ref, seeded_matrix,
+    syrk_lower_ref, syrk_packed_new, Diag, Matrix, PackedLower,
 };
 
 /// Dimensions around the register-tile edges: 0, 1, MR−1, MR, MR+1 (NR
@@ -117,6 +118,63 @@ fn syrk_packed_matches_reference_on_aspect_extremes() {
                 .map(|(x, y)| (x - y).abs())
                 .fold(0.0, f64::max);
             assert!(err < 1e-10, "syrk_packed (n={n},k={k},{diag:?}): err {err}");
+        }
+    }
+}
+
+/// Forced-ISA shape battery: for every ISA this host can execute, edge
+/// shapes derived from *that ISA's* tile geometry (0, 1, mr±1, nr±1,
+/// one past a dual tile) run through gemm_nt and syrk_packed against
+/// the scalar references. Tolerance-based on purpose: the comparison
+/// must hold for any ISA, and this binary's other tests may run
+/// concurrently with the force guard active.
+#[test]
+fn forced_isa_edge_shape_battery() {
+    for isa in available_isas() {
+        let spec = dispatch_for_isa_f64(isa).spec;
+        let _f = force_isa(isa);
+        let mut edges = vec![
+            0,
+            1,
+            spec.mr - 1,
+            spec.mr,
+            spec.mr + 1,
+            spec.nr - 1,
+            spec.nr,
+            spec.nr + 1,
+            2 * spec.mr + 1,
+        ];
+        edges.sort_unstable();
+        edges.dedup();
+        for &m in &edges {
+            for &n in &edges {
+                for &k in &[0usize, 1, 7, 65] {
+                    let a = seeded_matrix::<f64>(m, k, (m * 31 + k) as u64 + 1);
+                    let b = seeded_matrix::<f64>(n, k, (n * 17 + k) as u64 + 2);
+                    let mut want = Matrix::zeros(m, n);
+                    gemm_nt_ref(&mut want, &a, &b);
+                    let mut got = Matrix::zeros(m, n);
+                    gemm_nt(&mut got, &a, &b);
+                    let err = max_abs(&got, &want);
+                    assert!(err < 1e-10, "{isa} gemm_nt ({m},{n},{k}): err {err}");
+                }
+            }
+        }
+        for &n in &edges {
+            for &k in &[1usize, 7, 65] {
+                for diag in [Diag::Inclusive, Diag::Strict] {
+                    let a = seeded_matrix::<f64>(n, k, (n * 13 + k) as u64 + 3);
+                    let want = syrk_reference_packed(&a, diag);
+                    let got = syrk_packed_new(&a, diag);
+                    let err = want
+                        .as_slice()
+                        .iter()
+                        .zip(got.as_slice())
+                        .map(|(x, y)| (x - y).abs())
+                        .fold(0.0, f64::max);
+                    assert!(err < 1e-10, "{isa} syrk (n={n},k={k},{diag:?}): err {err}");
+                }
+            }
         }
     }
 }

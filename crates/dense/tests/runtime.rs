@@ -11,8 +11,9 @@
 
 use std::sync::{Mutex, MutexGuard};
 use syrk_dense::{
-    available_threads, cholesky, kernel_stats, limit_threads, mul_nn, mul_nt, seeded_matrix,
-    syr2k_packed_new, syrk_full_reference, syrk_packed_new, Diag, Matrix,
+    available_isas, available_threads, cholesky, dispatched_isa, force_isa, kernel_stats,
+    limit_threads, max_abs_diff, mul_nn, mul_nt, seeded_matrix, syr2k_packed_new,
+    syrk_full_reference, syrk_packed_new, Diag, Isa, Matrix, PackedLower,
 };
 
 static LOCK: Mutex<()> = Mutex::new(());
@@ -21,8 +22,8 @@ fn serial() -> MutexGuard<'static, ()> {
     LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Ragged edge cases around the register tile (MR = 4) plus shapes that
-/// span MC/KC block boundaries.
+/// Ragged edge cases around the register tiles (scalar 4×4 up to
+/// AVX-512 16×14) plus shapes that span mc/kc block boundaries.
 const SIZES: [usize; 6] = [1, 4, 5, 64, 257, 13];
 
 #[test]
@@ -163,6 +164,90 @@ fn repeated_stolen_runs_are_identical() {
             first,
             "run {run} diverged under identical budget"
         );
+    }
+}
+
+fn packed_max_abs_diff(a: &PackedLower<f64>, b: &PackedLower<f64>) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// The full forced-ISA matrix: every ISA this host can execute ×
+/// {syrk, gemm_nt, gemm_nn, syr2k, cholesky} on ragged (off-tile-grid)
+/// shapes. Per ISA the results must be bitwise identical across 1, 2,
+/// and 4 threads; across ISAs they must agree with the scalar-forced
+/// reference to norm tolerance (FMA kernels round differently, so
+/// bitwise equality across ISAs is not expected and not asserted).
+#[test]
+fn forced_isa_matrix_is_deterministic_and_agrees_with_scalar() {
+    let _s = serial();
+    // Ragged shapes: prime-ish sizes off every ISA's tile grid, big
+    // enough to span kc/mc block boundaries.
+    let (n, k) = (83usize, 71usize);
+    let a = seeded_matrix::<f64>(n, k, 91);
+    let b = seeded_matrix::<f64>(n, k, 92);
+    let bt = b.transpose();
+    let g = spd(n, 93);
+    struct Results {
+        syrk: PackedLower<f64>,
+        nt: Matrix<f64>,
+        nn: Matrix<f64>,
+        syr2k: PackedLower<f64>,
+        chol: Matrix<f64>,
+    }
+    let run_all = || Results {
+        syrk: syrk_packed_new(&a, Diag::Inclusive),
+        nt: mul_nt(&a, &b),
+        nn: mul_nn(&a, &bt),
+        syr2k: syr2k_packed_new(&a, &b, Diag::Inclusive),
+        chol: cholesky(&g).expect("SPD must factor"),
+    };
+    let scalar = {
+        let _f = force_isa(Isa::Scalar);
+        let _g1 = limit_threads(1);
+        run_all()
+    };
+    for isa in available_isas() {
+        let _f = force_isa(isa);
+        assert_eq!(dispatched_isa(), isa, "force guard must win the dispatch");
+        let base = {
+            let _g1 = limit_threads(1);
+            run_all()
+        };
+        let tol = 1e-8;
+        assert!(
+            packed_max_abs_diff(&base.syrk, &scalar.syrk) < tol,
+            "{isa}: syrk disagrees with scalar reference"
+        );
+        assert!(
+            max_abs_diff(&base.nt, &scalar.nt) < tol,
+            "{isa}: gemm_nt disagrees with scalar reference"
+        );
+        assert!(
+            max_abs_diff(&base.nn, &scalar.nn) < tol,
+            "{isa}: gemm_nn disagrees with scalar reference"
+        );
+        assert!(
+            packed_max_abs_diff(&base.syr2k, &scalar.syr2k) < tol,
+            "{isa}: syr2k disagrees with scalar reference"
+        );
+        assert!(
+            max_abs_diff(&base.chol, &scalar.chol) < tol,
+            "{isa}: cholesky disagrees with scalar reference"
+        );
+        for threads in [2usize, 4] {
+            let _gt = limit_threads(threads);
+            let got = run_all();
+            assert_eq!(got.syrk, base.syrk, "{isa}: syrk at {threads} threads");
+            assert_eq!(got.nt, base.nt, "{isa}: gemm_nt at {threads} threads");
+            assert_eq!(got.nn, base.nn, "{isa}: gemm_nn at {threads} threads");
+            assert_eq!(got.syr2k, base.syr2k, "{isa}: syr2k at {threads} threads");
+            assert_eq!(got.chol, base.chol, "{isa}: cholesky at {threads} threads");
+        }
     }
 }
 
