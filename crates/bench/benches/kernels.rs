@@ -13,7 +13,7 @@
 //! size.
 
 use std::fmt::Write as _;
-use syrk_bench::timing::{fast_mode, Group, Measurement};
+use syrk_bench::timing::{fast_mode, Group, Measurement, RunClock};
 use syrk_dense::{
     available_isas, available_threads, detected_isa, dispatched_isa, force_isa, gemm_flops,
     gemm_nt, gemm_nt_ref, hardware_threads, limit_threads, seeded_matrix, syrk_flops,
@@ -51,11 +51,13 @@ fn main() {
     } else {
         (512usize, 512usize)
     };
+    let mut clock = RunClock::start();
     let a = seeded_matrix::<f64>(n, k, 1);
     let b = seeded_matrix::<f64>(n, k, 2);
     let gflops = gemm_flops(n, n, k);
     let sflops = syrk_flops(n, k);
     let mut entries = Vec::new();
+    clock.mark("setup");
 
     // Single-thread A/B: reference kernels vs the packed register-blocked
     // kernels under the ambient dispatch, same problem, same thread
@@ -84,6 +86,7 @@ fn main() {
         let m = g.bench("syrk_packed", || syrk_packed_new(&a, Diag::Inclusive));
         record(&mut entries, "syrk_packed", "packed", 1, &m, sflops);
     }
+    clock.mark("ab_reference_vs_packed");
 
     // Per-ISA forced sweep: the same packed kernels pinned to each ISA
     // the host can execute, one thread. `available_isas` is best-first
@@ -120,6 +123,7 @@ fn main() {
             );
         }
     }
+    clock.mark("per_isa_sweep");
 
     // Thread scaling of the flop-balanced triangular schedule. On a
     // single-core host the extra threads are OS threads sharing one CPU,
@@ -133,6 +137,7 @@ fn main() {
         });
         record(&mut entries, "syrk_packed", "packed", threads, &m, sflops);
     }
+    clock.mark("thread_scaling");
 
     let seconds_of = |kernel: &str, variant: &str| {
         entries
@@ -208,7 +213,8 @@ fn main() {
             e.kernel, e.variant, e.threads, e.seconds, e.gflops
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"wall_clock\": {}", clock.json_object());
     let _ = writeln!(json, "}}");
     let path = std::env::var("SYRK_BENCH_JSON").unwrap_or_else(|_| "BENCH_kernels.json".into());
     std::fs::write(&path, &json).expect("write BENCH_kernels.json");

@@ -16,6 +16,15 @@
 //!    the dispatched kernel spec (each block packed exactly once — one
 //!    aliased pack for square tiles, row + column packs for rectangular
 //!    SIMD tiles), at least 1.8× less than the per-chunk packing model.
+//! 4. **Metrics consistency**: on the telemetry registry, every task
+//!    scheduled by the runtime was run (`syrk_tasks_run ==
+//!    syrk_tasks_scheduled`), the queue-depth gauge has drained to zero,
+//!    and counters are monotone across a kernel call.
+//! 5. **Flight-recorder overhead**: enabling the wall-clock flight
+//!    recorder costs < 5 % on the 4-thread SYRK (min-of-samples on both
+//!    sides, so scheduler noise can't fail the gate spuriously; the
+//!    bound is relaxed to 25 % in `SYRK_BENCH_FAST` smoke mode, where
+//!    the kernel is small enough for timer noise to dominate).
 //!
 //! The multi-thread *timing* sweep is honest: when the host has only
 //! one hardware thread the 2/4-thread runs measure oversubscription,
@@ -27,13 +36,14 @@
 //! `SYRK_BENCH_FAST=1` shrinks the problem to smoke size.
 
 use std::fmt::Write as _;
-use syrk_bench::timing::{fast_mode, Group, Measurement};
+use syrk_bench::timing::{fast_mode, Group, Measurement, RunClock};
 use syrk_dense::pack::packed_panel_len;
 use syrk_dense::{
     available_threads, balanced_triangle_chunks, detected_isa, dispatch_f64, dispatched_isa,
     gemm_flops, hardware_threads, kernel_stats, limit_threads, mul_nt, per_chunk_pack_words,
     seeded_matrix, steal_task_count, syrk_flops, syrk_packed_new, Diag,
 };
+use syrk_machine::telemetry::{flight, registry};
 
 struct Entry {
     kernel: &'static str,
@@ -53,6 +63,7 @@ fn main() {
     } else {
         (512usize, 512usize)
     };
+    let mut clock = RunClock::start();
     let a = seeded_matrix::<f64>(n, k, 1);
     let b = seeded_matrix::<f64>(n, k, 2);
     let sflops = syrk_flops(n, k);
@@ -98,6 +109,7 @@ fn main() {
         );
     }
     println!("determinism: ok (1 == 2 == 4 == env default of {env_threads} threads)");
+    clock.mark("determinism");
 
     // Gate 2: arena steady state — a second identical call allocates
     // nothing (the sweep above already warmed every shape we measure).
@@ -121,6 +133,7 @@ fn main() {
         "arena steady state: ok ({} hits, 0 misses, 0 bytes allocated)",
         steady.arena_hits
     );
+    clock.mark("arena");
 
     // Gate 3: shared-pack traffic. One 4-thread SYRK must pack exactly
     // one full-height shared copy per operand side and inner panel —
@@ -167,6 +180,92 @@ fn main() {
         "shared pack: ok ({syrk_pack_words} words vs {per_chunk_model} per-chunk model, {reduction:.2}x reduction over {} chunks)",
         chunks.len()
     );
+    clock.mark("shared_pack");
+
+    // Gate 4: metrics consistency on the telemetry registry. Every task
+    // the runtime scheduled (across every kernel call this process made)
+    // must have run, the queue-depth gauge must have drained back to
+    // zero, and counters must be monotone across one more call.
+    let before = registry::snapshot();
+    {
+        let _g = limit_threads(4);
+        let _ = syrk_packed_new(&a, Diag::Inclusive);
+    }
+    let after = registry::snapshot();
+    let scheduled = after.counter("syrk_tasks_scheduled").unwrap_or(0);
+    let run = after.counter("syrk_tasks_run").unwrap_or(0);
+    if scheduled == 0 || run != scheduled {
+        fail(
+            "metrics",
+            format!("syrk_tasks_run {run} != syrk_tasks_scheduled {scheduled} (or no tasks seen)"),
+        );
+    }
+    if after.gauge("syrk_queue_depth") != Some(0) {
+        fail(
+            "metrics",
+            format!(
+                "queue-depth gauge did not drain: {:?}",
+                after.gauge("syrk_queue_depth")
+            ),
+        );
+    }
+    for (name, value) in &before.entries {
+        if let (syrk_machine::telemetry::MetricValue::Counter(b), Some(a)) =
+            (value, after.counter(name))
+        {
+            if a < *b {
+                fail(
+                    "metrics",
+                    format!("counter {name} went backwards: {b} -> {a}"),
+                );
+            }
+        }
+    }
+    println!(
+        "metrics consistency: ok ({run} tasks run == scheduled, queue drained, counters monotone)"
+    );
+    clock.mark("metrics_consistency");
+
+    // Gate 5: flight-recorder overhead. Min-of-samples on both sides —
+    // the minimum is the cleanest observation of each configuration, so
+    // a scheduler hiccup in one sample can't fail the gate. The recorder
+    // bound (25 % in fast mode) is generous because at smoke sizes the
+    // kernel is microseconds long and two `Instant::now` calls per task
+    // are a visible fraction.
+    let (flight_off, flight_on) = {
+        let _g = limit_threads(4);
+        let mut grp = Group::new(&format!("flight_overhead_n{n}_k{k}_4threads"));
+        let off = grp.bench("syrk_packed_flight_off", || {
+            syrk_packed_new(&a, Diag::Inclusive)
+        });
+        flight::enable();
+        let on = grp.bench("syrk_packed_flight_on", || {
+            syrk_packed_new(&a, Diag::Inclusive)
+        });
+        flight::disable();
+        flight::clear();
+        (off, on)
+    };
+    let overhead = flight_on.min / flight_off.min - 1.0;
+    let bound = if fast_mode() { 0.25 } else { 0.05 };
+    if overhead > bound {
+        fail(
+            "flight-overhead",
+            format!(
+                "flight recorder costs {:.1}% (> {:.0}% bound): {:.3e}s off vs {:.3e}s on",
+                overhead * 100.0,
+                bound * 100.0,
+                flight_off.min,
+                flight_on.min
+            ),
+        );
+    }
+    println!(
+        "flight-recorder overhead: ok ({:.2}% <= {:.0}% bound)",
+        overhead.max(0.0) * 100.0,
+        bound * 100.0
+    );
+    clock.mark("flight_overhead");
 
     // Thread sweep: wall-clock scaling of both kernels. Only measured
     // when the host actually has more than one hardware thread —
@@ -221,6 +320,7 @@ fn main() {
             speedup("gemm_nt", 4),
         );
     }
+    clock.mark("thread_sweep");
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -244,6 +344,15 @@ fn main() {
     let _ = writeln!(json, "  \"determinism_ok\": true,");
     let _ = writeln!(
         json,
+        "  \"metrics\": {{ \"tasks_scheduled\": {scheduled}, \"tasks_run\": {run}, \"queue_depth\": 0 }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"flight_overhead\": {{ \"off_min_seconds\": {:.6e}, \"on_min_seconds\": {:.6e}, \"overhead\": {:.4}, \"bound\": {bound} }},",
+        flight_off.min, flight_on.min, overhead
+    );
+    let _ = writeln!(
+        json,
         "  \"arena\": {{ \"steady_hits\": {}, \"steady_misses\": {}, \"steady_alloc_bytes\": {} }},",
         steady.arena_hits, steady.arena_misses, steady.arena_alloc_bytes
     );
@@ -261,7 +370,8 @@ fn main() {
             e.kernel, e.threads, e.seconds, e.gflops
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"wall_clock\": {}", clock.json_object());
     let _ = writeln!(json, "}}");
     let path = std::env::var("SYRK_SCALING_JSON").unwrap_or_else(|_| "BENCH_scaling.json".into());
     std::fs::write(&path, &json).expect("write BENCH_scaling.json");

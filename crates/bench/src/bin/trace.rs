@@ -21,21 +21,33 @@ use syrk_core::{
     SyrkError, SyrkRunResult,
 };
 use syrk_dense::{detected_isa, dispatched_isa, kernel_stats, seeded_matrix, Matrix};
-use syrk_machine::{chrome_trace_json, timelines_csv, CostModel, EventKind, FaultPlan, Timeline};
+use syrk_machine::telemetry::{flight, prometheus_text, registry, snapshot_json};
+use syrk_machine::{
+    chrome_trace_json, chrome_trace_json_with_wall, timelines_csv, CostModel, EventKind, FaultPlan,
+    Machine, MachineError, Timeline,
+};
 
 const USAGE: &str = "\
-usage: trace [mode] [shape] [--faults SPEC]
+usage: trace [mode] [shape] [--faults SPEC] [--metrics FMT] [--flight-recorder PATH]
   trace                  2D at the default shape (36, 8, c = 3)
   trace 1d [n1 n2 p]     Algorithm 1 (defaults 36 8 4)
   trace 2d [n1 n2 c]     Algorithm 2 (defaults 36 8 3)
   trace 3d [n1 n2 c p2]  Algorithm 3 (defaults 36 24 3 2)
   trace plan [n1 n2 P]   the planner's pick for a P-rank budget (defaults 36 8 12)
+  trace deadlock         force a 2-rank recv/recv deadlock and write the
+                         failure dump (wait-for graph + metrics + flight
+                         recording); exits 0 when the dump was written
 shape arguments are positive integers
 
   --faults SPEC          inject deterministic transport faults and print the
                          retry phase table. SPEC is comma-separated key=value:
                          seed=N drop=p dup=p delay=p skew=s corrupt=p retries=n
-                         (probabilities in [0,1]); e.g. --faults seed=7,drop=0.2";
+                         (probabilities in [0,1]); e.g. --faults seed=7,drop=0.2
+  --metrics FMT          print the telemetry registry after the run; FMT is
+                         `text` (Prometheus exposition) or `json`
+  --flight-recorder PATH enable the wall-clock flight recorder and write the
+                         merged Chrome trace (simulated rows + wall-clock
+                         rows) to PATH; in deadlock mode, the failure dump";
 
 fn usage_exit() -> ! {
     eprintln!("{USAGE}");
@@ -113,27 +125,109 @@ fn parse_faults(spec: &str) -> FaultPlan {
     plan
 }
 
+/// Pull `--NAME VALUE` / `--NAME=VALUE` out of `args`, returning the
+/// value; exits with usage when the flag is present but valueless.
+fn take_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let eq_form = format!("--{name}=");
+    let i = args
+        .iter()
+        .position(|a| a == &format!("--{name}") || a.starts_with(&eq_form))?;
+    if let Some(s) = args[i].strip_prefix(&eq_form) {
+        let s = s.to_string();
+        args.remove(i);
+        Some(s)
+    } else {
+        args.remove(i);
+        if i >= args.len() {
+            eprintln!("trace: --{name} needs a value\n");
+            usage_exit()
+        }
+        Some(args.remove(i))
+    }
+}
+
+/// Print the metrics registry in the requested format (`text` = Prometheus
+/// exposition, `json`).
+fn print_metrics(fmt: &str) {
+    let snap = registry::snapshot();
+    match fmt {
+        "text" => print!("{}", prometheus_text(&snap)),
+        "json" => println!("{}", snapshot_json(&snap)),
+        other => {
+            eprintln!("trace: bad --metrics format {other:?} (want text or json)\n");
+            usage_exit()
+        }
+    }
+}
+
+/// Force a two-rank recv/recv deadlock: both ranks post a receive and
+/// nobody sends, so the watchdog trips, the failure dump (wait-for graph,
+/// metrics, flight recording) lands at `dump_path`, and the process exits
+/// 0 if the dump is non-empty.
+fn run_deadlock(dump_path: &std::path::Path, metrics: Option<&str>) -> ! {
+    flight::enable();
+    let machine = Machine::new(2)
+        .with_watchdog(std::time::Duration::from_millis(200))
+        .with_failure_dump(dump_path);
+    let err = machine.try_run(|comm| {
+        // Symmetric blocked receives: a cycle the watchdog must report.
+        let peer = 1 - comm.rank();
+        comm.try_recv::<Vec<f64>>(peer, 99).map(|_| ())
+    });
+    flight::disable();
+    if let Some(fmt) = metrics {
+        println!("\n-- metrics ({fmt}) --");
+        print_metrics(fmt);
+    }
+    match err {
+        Err(MachineError::Deadlock(info)) => {
+            println!(
+                "deadlock detected as expected ({} wait-for edges)",
+                info.edges.len()
+            );
+            match std::fs::metadata(dump_path) {
+                Ok(m) if m.len() > 0 => {
+                    println!("failure dump: {} ({} bytes)", dump_path.display(), m.len());
+                    std::process::exit(0)
+                }
+                _ => {
+                    eprintln!(
+                        "trace: failure dump missing or empty at {}",
+                        dump_path.display()
+                    );
+                    std::process::exit(1)
+                }
+            }
+        }
+        other => {
+            eprintln!("trace: expected a deadlock, got {other:?}");
+            std::process::exit(1)
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // Extract --faults SPEC / --faults=SPEC before positional parsing.
-    let mut faults: Option<FaultPlan> = None;
-    if let Some(i) = args
-        .iter()
-        .position(|a| a == "--faults" || a.starts_with("--faults="))
-    {
-        let spec = if let Some(s) = args[i].strip_prefix("--faults=") {
-            let s = s.to_string();
-            args.remove(i);
-            s
-        } else {
-            args.remove(i);
-            if i >= args.len() {
-                eprintln!("trace: --faults needs a spec argument\n");
-                usage_exit()
-            }
-            args.remove(i)
-        };
-        faults = Some(parse_faults(&spec));
+    // Extract the --flag arguments before positional parsing.
+    let faults: Option<FaultPlan> = take_flag(&mut args, "faults").map(|s| parse_faults(&s));
+    let metrics_fmt = take_flag(&mut args, "metrics");
+    if let Some(fmt) = &metrics_fmt {
+        if fmt != "text" && fmt != "json" {
+            eprintln!("trace: bad --metrics format {fmt:?} (want text or json)\n");
+            usage_exit()
+        }
+    }
+    let flight_path = take_flag(&mut args, "flight-recorder").map(std::path::PathBuf::from);
+    if args.first().map(String::as_str) == Some("deadlock") {
+        let dump =
+            flight_path.unwrap_or_else(|| "target/experiments/trace_deadlock_dump.json".into());
+        if let Some(dir) = dump.parent().filter(|d| !d.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        run_deadlock(&dump, metrics_fmt.as_deref());
+    }
+    if flight_path.is_some() {
+        flight::enable();
     }
     let (mode, rest) = match args.split_first() {
         None => (String::from("2d"), &args[..]),
@@ -234,6 +328,26 @@ fn main() {
         csv_path.display(),
         json_path.display()
     );
+
+    if let Some(path) = &flight_path {
+        flight::disable();
+        let rec = flight::collect();
+        let merged = chrome_trace_json_with_wall(&traces, &rec);
+        if let Err(e) = std::fs::write(path, merged) {
+            eprintln!("trace: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!(
+            "flight recorder: {} ({} wall-clock events, {} dropped)",
+            path.display(),
+            rec.events.len(),
+            rec.dropped
+        );
+    }
+    if let Some(fmt) = &metrics_fmt {
+        println!("\n-- metrics ({fmt}) --");
+        print_metrics(fmt);
+    }
 }
 
 /// Dispatch the traced run for a plan.

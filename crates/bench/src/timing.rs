@@ -122,6 +122,61 @@ impl Group {
     }
 }
 
+/// Wall-clock metadata for a bench run: total elapsed time plus named
+/// per-section timings, rendered as a JSON fragment for the
+/// `BENCH_*.json` artifacts.
+///
+/// Usage: create one at the top of `main`, call [`mark`](RunClock::mark)
+/// after each logical section (the elapsed time since the previous mark
+/// is charged to that name), and splice [`json_object`](RunClock::json_object)
+/// into the output as the `"wall_clock"` value.
+pub struct RunClock {
+    start: Instant,
+    last_mark: Instant,
+    sections: Vec<(String, f64)>,
+}
+
+impl RunClock {
+    /// Start the clock (both the total and the first section).
+    pub fn start() -> Self {
+        let now = Instant::now();
+        RunClock {
+            start: now,
+            last_mark: now,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Close the current section under `name`: everything since the
+    /// previous mark (or the start) is charged to it.
+    pub fn mark(&mut self, name: &str) {
+        let now = Instant::now();
+        let ms = now.duration_since(self.last_mark).as_secs_f64() * 1e3;
+        self.sections.push((name.to_string(), ms));
+        self.last_mark = now;
+    }
+
+    /// Total elapsed milliseconds since the clock started.
+    pub fn total_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// The run metadata as one JSON object:
+    /// `{"total_elapsed_ms": …, "sections_ms": {"name": …, …}}`.
+    pub fn json_object(&self) -> String {
+        let sections = self
+            .sections
+            .iter()
+            .map(|(name, ms)| format!("\"{name}\": {ms:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{ \"total_elapsed_ms\": {:.3}, \"sections_ms\": {{ {sections} }} }}",
+            self.total_ms()
+        )
+    }
+}
+
 /// Human-readable seconds.
 pub fn format_time(secs: f64) -> String {
     if secs >= 1.0 {
@@ -153,6 +208,22 @@ mod tests {
         assert!(m.median > 0.0);
         assert!(m.min <= m.median);
         assert!(m.gflops(200) > 0.0);
+    }
+
+    #[test]
+    fn run_clock_charges_sections_and_renders_json() {
+        let mut clock = RunClock::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        clock.mark("warmup");
+        clock.mark("sweep");
+        let json = clock.json_object();
+        assert!(json.starts_with("{ \"total_elapsed_ms\": "));
+        assert!(json.contains("\"sections_ms\": { \"warmup\": "));
+        assert!(json.contains("\"sweep\": "));
+        assert!(clock.total_ms() >= 2.0);
+        // The first section absorbed the sleep.
+        assert!(clock.sections[0].1 >= 2.0);
+        assert!(clock.sections[1].1 < clock.sections[0].1);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub fn syrk_1d_with(
 /// failures (crash, deadlock, …) surface as [`SyrkError`] instead of
 /// panicking. An optional [`FaultPlan`] injects deterministic transport
 /// faults into the run.
+#[must_use = "the Result carries the simulated run's outcome or failure"]
 pub fn try_syrk_1d(
     a: &Matrix<f64>,
     p: usize,
@@ -77,6 +78,7 @@ pub fn syrk_1d_traced(
 }
 
 /// Fallible form of [`syrk_1d_traced`], with optional fault injection.
+#[must_use = "the Result carries the simulated run's outcome or failure"]
 pub fn try_syrk_1d_traced(
     a: &Matrix<f64>,
     p: usize,

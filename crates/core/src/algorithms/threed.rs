@@ -151,6 +151,7 @@ pub fn syrk_3d(a: &Matrix<f64>, c: usize, p2: usize, model: CostModel) -> SyrkRu
 /// failures (crash, deadlock, …) surface as [`SyrkError`] instead of
 /// panicking. An optional [`FaultPlan`] injects deterministic transport
 /// faults into the run.
+#[must_use = "the Result carries the simulated run's outcome or failure"]
 pub fn try_syrk_3d(
     a: &Matrix<f64>,
     c: usize,
@@ -173,6 +174,7 @@ pub fn syrk_3d_traced(
 }
 
 /// Fallible form of [`syrk_3d_traced`], with optional fault injection.
+#[must_use = "the Result carries the simulated run's outcome or failure"]
 pub fn try_syrk_3d_traced(
     a: &Matrix<f64>,
     c: usize,

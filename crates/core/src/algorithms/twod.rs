@@ -200,6 +200,7 @@ fn syrk_2d_impl(a: &Matrix<f64>, c: usize, model: CostModel, padded: bool) -> Sy
 /// failures (crash, deadlock, …) surface as [`SyrkError`] instead of
 /// panicking. An optional [`FaultPlan`] injects deterministic transport
 /// faults into the run.
+#[must_use = "the Result carries the simulated run's outcome or failure"]
 pub fn try_syrk_2d(
     a: &Matrix<f64>,
     c: usize,
@@ -220,6 +221,7 @@ pub fn syrk_2d_traced(
 }
 
 /// Fallible form of [`syrk_2d_traced`], with optional fault injection.
+#[must_use = "the Result carries the simulated run's outcome or failure"]
 pub fn try_syrk_2d_traced(
     a: &Matrix<f64>,
     c: usize,

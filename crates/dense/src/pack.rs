@@ -37,6 +37,7 @@ use crate::scalar::Scalar;
 use std::cell::UnsafeCell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU8, Ordering};
+use syrk_telemetry::flight::{self, FlightKind};
 
 /// Number of scalars in a packed panel buffer for `rows` rows (or
 /// columns), `kc` inner iterations, and register width `r`.
@@ -263,6 +264,11 @@ impl<'a, T: Scalar> SharedPack<'a, T> {
                     }
                 }
                 let publish = Publish(&self.states[b]);
+                let t0 = if flight::is_enabled() {
+                    Some(flight::now_ns())
+                } else {
+                    None
+                };
                 let span = self.cell_range(b);
                 let cells = &self.cells[span];
                 // SAFETY: the CAS made this caller the unique packer of
@@ -272,11 +278,19 @@ impl<'a, T: Scalar> SharedPack<'a, T> {
                 };
                 pack(self.block_range(b), dst);
                 drop(publish);
+                if let Some(t0) = t0 {
+                    flight::record(FlightKind::PackPublish, t0, flight::now_ns(), b as u64);
+                }
             }
             Err(state) => {
                 if state == BLOCK_READY {
                     return;
                 }
+                let t0 = if flight::is_enabled() {
+                    Some(flight::now_ns())
+                } else {
+                    None
+                };
                 let mut spins = 0u32;
                 while self.states[b].load(Ordering::Acquire) != BLOCK_READY {
                     spins += 1;
@@ -286,6 +300,9 @@ impl<'a, T: Scalar> SharedPack<'a, T> {
                     } else {
                         std::hint::spin_loop();
                     }
+                }
+                if let Some(t0) = t0 {
+                    flight::record(FlightKind::PackWait, t0, flight::now_ns(), b as u64);
                 }
             }
         }

@@ -18,7 +18,13 @@
 //!
 //! Tasks never spawn subtasks, so termination is simple: a worker exits
 //! after a full sweep finds every deque empty. Steal counts are flushed
-//! to [`crate::stats`] for the trace binary.
+//! to [`crate::stats`] for the trace binary; every run also meters
+//! `syrk_tasks_scheduled` / `syrk_tasks_run` and the `syrk_queue_depth`
+//! gauge on the telemetry registry, and — when the flight recorder is
+//! enabled — records a wall-clock span per task and an instant event per
+//! steal. This runtime has no parker: idle workers exit after one empty
+//! sweep instead of blocking, so there are no park/unpark events to meter
+//! (DESIGN.md §9 records the deviation from the issue's wish list).
 //!
 //! Two knobs control the thread count:
 //!
@@ -33,6 +39,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+use syrk_telemetry::flight::{self, FlightKind};
 
 /// Process-wide thread budget; 0 means "unset, use the hardware count".
 static THREAD_BUDGET: AtomicUsize = AtomicUsize::new(0);
@@ -170,10 +177,25 @@ where
     T: Send,
     F: Fn(usize, T) + Sync,
 {
+    // One flight-recorded, counter-metered task execution. The counters
+    // are relaxed atomics (one inc per task, tasks are coarse); the
+    // flight span costs two `Instant` reads only while recording.
+    let run_task = |i: usize, t: T| {
+        if flight::is_enabled() {
+            let t0 = flight::now_ns();
+            f(i, t);
+            flight::record(FlightKind::Task, t0, flight::now_ns(), i as u64);
+        } else {
+            f(i, t);
+        }
+        crate::stats::add_task_run();
+    };
+
     let workers = available_threads().min(tasks.len());
+    crate::stats::add_tasks_scheduled(tasks.len() as u64);
     if workers <= 1 {
         for (i, t) in tasks.into_iter().enumerate() {
-            f(i, t);
+            run_task(i, t);
         }
         return;
     }
@@ -194,14 +216,14 @@ where
     let deques = &deques;
     let steal_hint = AtomicUsize::new(0);
     let steal_hint = &steal_hint;
-    let f = &f;
+    let run_task = &run_task;
 
     let run_worker = move |me: usize| {
         let mut steals = 0u64;
         'work: loop {
             // Drain own deque LIFO.
             while let Some((i, t)) = deques[me].pop_own() {
-                f(i, t);
+                run_task(i, t);
             }
             // Steal FIFO from a round-robin victim. Tasks never spawn
             // subtasks, so a full empty sweep means the pool is drained.
@@ -213,7 +235,8 @@ where
                 }
                 if let Some((i, t)) = deques[victim].steal() {
                     steals += 1;
-                    f(i, t);
+                    flight::instant(FlightKind::Steal, victim as u64);
+                    run_task(i, t);
                     continue 'work;
                 }
             }

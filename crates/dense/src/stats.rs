@@ -4,31 +4,41 @@
 //! cost ledger; these counters meter the *local* engine underneath — how
 //! many words the packing routines staged into micro-panels, how many
 //! register-blocked microkernel tiles ran, how the workspace arena is
-//! behaving (buffer reuse vs fresh allocation), and how often the
-//! work-stealing runtime had to migrate a task. The `trace` binary
+//! behaving (buffer reuse vs fresh allocation), and how the
+//! work-stealing runtime scheduled and migrated tasks. The `trace` binary
 //! reports them next to the per-phase communication table so one run
 //! shows both sides of the α-β-γ model (network words and γ-side kernel
 //! work), and the scaling bench uses the arena counters to prove the
 //! steady state allocates nothing.
 //!
-//! Counters are relaxed atomics: kernels accumulate locally per task and
-//! flush once, so the hot loops see no contention. They are cumulative
-//! per process; call [`reset_kernel_stats`] before the region you want to
-//! measure and [`kernel_stats`] after.
+//! Since the telemetry layer landed, the counters live on the process
+//! [`syrk_telemetry::registry`] under `syrk_*` names (so a Prometheus
+//! scrape or `--metrics` dump sees them), and this module is the
+//! engine-facing façade: the [`KernelStats`] snapshot API is unchanged,
+//! and the hot-path helpers still accumulate locally per task and flush
+//! once, so kernel loops see one relaxed `fetch_add` per flush and no
+//! locks. They are cumulative per process; call [`reset_kernel_stats`]
+//! before the region you want to measure and [`kernel_stats`] after.
 
 use crate::isa::Isa;
-use std::sync::atomic::{AtomicU64, Ordering};
+use syrk_telemetry::{LazyCounter, LazyGauge};
 
-static PACK_WORDS: AtomicU64 = AtomicU64::new(0);
-static MICROKERNEL_CALLS: AtomicU64 = AtomicU64::new(0);
-static ARENA_HITS: AtomicU64 = AtomicU64::new(0);
-static ARENA_MISSES: AtomicU64 = AtomicU64::new(0);
-static ARENA_ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
-static STEALS: AtomicU64 = AtomicU64::new(0);
-#[allow(clippy::declare_interior_mutable_const)]
-const ZERO: AtomicU64 = AtomicU64::new(0);
+static PACK_WORDS: LazyCounter = LazyCounter::new("syrk_pack_words");
+static MICROKERNEL_CALLS: LazyCounter = LazyCounter::new("syrk_microkernel_calls");
+static ARENA_HITS: LazyCounter = LazyCounter::new("syrk_arena_hits");
+static ARENA_MISSES: LazyCounter = LazyCounter::new("syrk_arena_misses");
+static ARENA_ALLOC_BYTES: LazyCounter = LazyCounter::new("syrk_arena_alloc_bytes");
+static STEALS: LazyCounter = LazyCounter::new("syrk_steals");
 /// Microkernel calls per dispatched ISA, indexed by [`Isa::index`].
-static ISA_CALLS: [AtomicU64; Isa::COUNT] = [ZERO; Isa::COUNT];
+static ISA_CALLS: [LazyCounter; Isa::COUNT] = [
+    LazyCounter::new("syrk_microkernel_calls_scalar"),
+    LazyCounter::new("syrk_microkernel_calls_avx2"),
+    LazyCounter::new("syrk_microkernel_calls_avx512"),
+    LazyCounter::new("syrk_microkernel_calls_neon"),
+];
+static TASKS_SCHEDULED: LazyCounter = LazyCounter::new("syrk_tasks_scheduled");
+static TASKS_RUN: LazyCounter = LazyCounter::new("syrk_tasks_run");
+static QUEUE_DEPTH: LazyGauge = LazyGauge::new("syrk_queue_depth");
 
 /// A snapshot of the kernel-engine counters (see [`kernel_stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -90,59 +100,72 @@ impl KernelStats {
 /// Snapshot the cumulative kernel-engine counters for this process.
 pub fn kernel_stats() -> KernelStats {
     KernelStats {
-        pack_words: PACK_WORDS.load(Ordering::Relaxed),
-        microkernel_calls: MICROKERNEL_CALLS.load(Ordering::Relaxed),
-        arena_hits: ARENA_HITS.load(Ordering::Relaxed),
-        arena_misses: ARENA_MISSES.load(Ordering::Relaxed),
-        arena_alloc_bytes: ARENA_ALLOC_BYTES.load(Ordering::Relaxed),
-        steals: STEALS.load(Ordering::Relaxed),
-        isa_calls: std::array::from_fn(|i| ISA_CALLS[i].load(Ordering::Relaxed)),
+        pack_words: PACK_WORDS.get().get(),
+        microkernel_calls: MICROKERNEL_CALLS.get().get(),
+        arena_hits: ARENA_HITS.get().get(),
+        arena_misses: ARENA_MISSES.get().get(),
+        arena_alloc_bytes: ARENA_ALLOC_BYTES.get().get(),
+        steals: STEALS.get().get(),
+        isa_calls: std::array::from_fn(|i| ISA_CALLS[i].get().get()),
     }
 }
 
-/// Zero the kernel-engine counters.
+/// Zero the kernel-engine counters (the runtime scheduling counters —
+/// `syrk_tasks_*` — are left monotone; they are consistency-checked
+/// against each other, not region-measured).
 pub fn reset_kernel_stats() {
-    PACK_WORDS.store(0, Ordering::Relaxed);
-    MICROKERNEL_CALLS.store(0, Ordering::Relaxed);
-    ARENA_HITS.store(0, Ordering::Relaxed);
-    ARENA_MISSES.store(0, Ordering::Relaxed);
-    ARENA_ALLOC_BYTES.store(0, Ordering::Relaxed);
-    STEALS.store(0, Ordering::Relaxed);
+    PACK_WORDS.get().reset();
+    MICROKERNEL_CALLS.get().reset();
+    ARENA_HITS.get().reset();
+    ARENA_MISSES.get().reset();
+    ARENA_ALLOC_BYTES.get().reset();
+    STEALS.get().reset();
     for c in &ISA_CALLS {
-        c.store(0, Ordering::Relaxed);
+        c.get().reset();
     }
 }
 
 pub(crate) fn add_pack_words(n: usize) {
-    PACK_WORDS.fetch_add(n as u64, Ordering::Relaxed);
+    PACK_WORDS.add(n as u64);
 }
 
 pub(crate) fn add_microkernel_calls(isa: Isa, n: u64) {
-    MICROKERNEL_CALLS.fetch_add(n, Ordering::Relaxed);
-    ISA_CALLS[isa.index()].fetch_add(n, Ordering::Relaxed);
+    MICROKERNEL_CALLS.add(n);
+    ISA_CALLS[isa.index()].add(n);
 }
 
 pub(crate) fn add_arena_hit() {
-    ARENA_HITS.fetch_add(1, Ordering::Relaxed);
+    ARENA_HITS.inc();
 }
 
 pub(crate) fn add_arena_miss() {
-    ARENA_MISSES.fetch_add(1, Ordering::Relaxed);
+    ARENA_MISSES.inc();
 }
 
 pub(crate) fn add_arena_alloc_bytes(n: usize) {
-    ARENA_ALLOC_BYTES.fetch_add(n as u64, Ordering::Relaxed);
+    ARENA_ALLOC_BYTES.add(n as u64);
 }
 
 pub(crate) fn add_steals(n: u64) {
-    if n != 0 {
-        STEALS.fetch_add(n, Ordering::Relaxed);
-    }
+    STEALS.add(n);
+}
+
+/// `n` tasks were dealt to the runtime (inline or stealing path alike).
+pub(crate) fn add_tasks_scheduled(n: u64) {
+    TASKS_SCHEDULED.add(n);
+    QUEUE_DEPTH.add(n as i64);
+}
+
+/// One task finished executing on some worker.
+pub(crate) fn add_task_run() {
+    TASKS_RUN.inc();
+    QUEUE_DEPTH.sub(1);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use syrk_telemetry::registry;
 
     #[test]
     fn counters_accumulate_and_reset() {
@@ -196,5 +219,53 @@ mod tests {
         assert_eq!(d.arena_hits, 0);
         assert_eq!(d.arena_alloc_bytes, 0);
         assert_eq!(d.isa_calls, [0; Isa::COUNT]);
+    }
+
+    #[test]
+    fn counters_surface_on_the_registry() {
+        add_pack_words(1);
+        add_microkernel_calls(Isa::Scalar, 1);
+        let snap = registry::snapshot();
+        assert!(snap.counter("syrk_pack_words").unwrap() >= 1);
+        assert!(snap.counter("syrk_microkernel_calls").unwrap() >= 1);
+        assert!(snap.counter("syrk_microkernel_calls_scalar").unwrap() >= 1);
+        // The registry view and the KernelStats view are the same atomics.
+        assert_eq!(kernel_stats().pack_words, PACK_WORDS.get().get());
+    }
+
+    #[test]
+    fn isa_counter_names_follow_isa_order() {
+        // The static array is indexed by Isa::index(); the registered
+        // names must agree with Isa::name() so dashboards stay truthful.
+        for isa in Isa::ALL {
+            let expected = match isa {
+                Isa::Scalar => "syrk_microkernel_calls_scalar",
+                Isa::Avx2 => "syrk_microkernel_calls_avx2",
+                Isa::Avx512 => "syrk_microkernel_calls_avx512",
+                Isa::Neon => "syrk_microkernel_calls_neon",
+            };
+            assert!(expected.ends_with(isa.name()));
+            assert!(std::ptr::eq(
+                ISA_CALLS[isa.index()].get(),
+                registry::counter(expected)
+            ));
+        }
+    }
+
+    #[test]
+    fn task_counters_move_together() {
+        let snap = registry::snapshot();
+        let (sched0, run0) = (
+            snap.counter("syrk_tasks_scheduled").unwrap_or(0),
+            snap.counter("syrk_tasks_run").unwrap_or(0),
+        );
+        add_tasks_scheduled(3);
+        add_task_run();
+        add_task_run();
+        add_task_run();
+        let snap = registry::snapshot();
+        assert!(snap.counter("syrk_tasks_scheduled").unwrap() >= sched0 + 3);
+        assert!(snap.counter("syrk_tasks_run").unwrap() >= run0 + 3);
+        assert!(snap.gauge("syrk_queue_depth").is_some());
     }
 }

@@ -16,7 +16,9 @@ impl Comm {
 
     /// Fallible form of [`all_gather`](Comm::all_gather): transport
     /// failures surface as [`MachineError`] instead of panicking.
+    #[must_use = "the Result carries transport failures that must be handled"]
     pub fn try_all_gather(&self, mine: Vec<f64>) -> Result<Vec<Vec<f64>>, MachineError> {
+        crate::metrics::ALL_GATHER.record(mine.len());
         let _span = self.collective_phase("coll:all-gather");
         let p = self.size();
         let me = self.rank();
@@ -38,6 +40,7 @@ impl Comm {
     }
 
     /// Fallible form of [`all_gather_concat`](Comm::all_gather_concat).
+    #[must_use = "the Result carries transport failures that must be handled"]
     pub fn try_all_gather_concat(&self, mine: Vec<f64>) -> Result<Vec<f64>, MachineError> {
         Ok(self.try_all_gather(mine)?.into_iter().flatten().collect())
     }

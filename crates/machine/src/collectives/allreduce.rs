@@ -13,7 +13,9 @@ impl Comm {
 
     /// Fallible form of [`all_reduce`](Comm::all_reduce): transport
     /// failures surface as [`MachineError`] instead of panicking.
+    #[must_use = "the Result carries transport failures that must be handled"]
     pub fn try_all_reduce(&self, data: &[f64]) -> Result<Vec<f64>, MachineError> {
+        crate::metrics::ALL_REDUCE.record(data.len());
         let _span = self.collective_phase("coll:all-reduce");
         let p = self.size();
         if p == 1 {

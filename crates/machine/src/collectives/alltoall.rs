@@ -35,16 +35,19 @@ impl Comm {
 
     /// Fallible form of [`all_to_all`](Comm::all_to_all): transport
     /// failures surface as [`MachineError`] instead of panicking.
+    #[must_use = "the Result carries transport failures that must be handled"]
     pub fn try_all_to_all(&self, blocks: Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>, MachineError> {
         self.try_all_to_all_with(blocks, CollectiveAlg::PairwiseExchange)
     }
 
     /// Fallible form of [`all_to_all_with`](Comm::all_to_all_with).
+    #[must_use = "the Result carries transport failures that must be handled"]
     pub fn try_all_to_all_with(
         &self,
         blocks: Vec<Vec<f64>>,
         alg: CollectiveAlg,
     ) -> Result<Vec<Vec<f64>>, MachineError> {
+        crate::metrics::ALL_TO_ALL.record(blocks.iter().map(Vec::len).sum());
         let _span = self.collective_phase("coll:all-to-all");
         let p = self.size();
         assert_eq!(blocks.len(), p, "all_to_all needs one block per rank");

@@ -14,7 +14,9 @@ impl Comm {
 
     /// Fallible form of [`barrier`](Comm::barrier): transport failures
     /// surface as [`MachineError`] instead of panicking.
+    #[must_use = "the Result carries transport failures that must be handled"]
     pub fn try_barrier(&self) -> Result<(), MachineError> {
+        crate::metrics::BARRIER.record(0);
         let _span = self.collective_phase("coll:barrier");
         let p = self.size();
         let me = self.rank();

@@ -18,11 +18,13 @@ impl Comm {
     /// Fallible form of [`broadcast`](Comm::broadcast): transport failures
     /// surface as [`MachineError`] instead of panicking. Passing `None` on
     /// the root remains a programmer error and still panics.
+    #[must_use = "the Result carries transport failures that must be handled"]
     pub fn try_broadcast(
         &self,
         root: usize,
         data: Option<Vec<f64>>,
     ) -> Result<Vec<f64>, MachineError> {
+        crate::metrics::BCAST.record(data.as_ref().map_or(0, Vec::len));
         let _span = self.collective_phase("coll:bcast");
         let p = self.size();
         let me = self.rank();

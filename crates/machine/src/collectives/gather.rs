@@ -15,11 +15,13 @@ impl Comm {
 
     /// Fallible form of [`gather`](Comm::gather): transport failures
     /// surface as [`MachineError`] instead of panicking.
+    #[must_use = "the Result carries transport failures that must be handled"]
     pub fn try_gather(
         &self,
         root: usize,
         mine: Vec<f64>,
     ) -> Result<Option<Vec<Vec<f64>>>, MachineError> {
+        crate::metrics::GATHER.record(mine.len());
         let _span = self.collective_phase("coll:gather");
         let p = self.size();
         let me = self.rank();
@@ -45,11 +47,17 @@ impl Comm {
     }
 
     /// Fallible form of [`scatter`](Comm::scatter).
+    #[must_use = "the Result carries transport failures that must be handled"]
     pub fn try_scatter(
         &self,
         root: usize,
         blocks: Option<Vec<Vec<f64>>>,
     ) -> Result<Vec<f64>, MachineError> {
+        crate::metrics::SCATTER.record(
+            blocks
+                .as_ref()
+                .map_or(0, |bs| bs.iter().map(Vec::len).sum()),
+        );
         let _span = self.collective_phase("coll:scatter");
         let p = self.size();
         let me = self.rank();

@@ -15,7 +15,9 @@ impl Comm {
 
     /// Fallible form of [`reduce`](Comm::reduce): transport failures
     /// surface as [`MachineError`] instead of panicking.
+    #[must_use = "the Result carries transport failures that must be handled"]
     pub fn try_reduce(&self, root: usize, data: &[f64]) -> Result<Option<Vec<f64>>, MachineError> {
+        crate::metrics::REDUCE.record(data.len());
         let _span = self.collective_phase("coll:reduce");
         let p = self.size();
         let me = self.rank();

@@ -55,10 +55,12 @@ impl Comm {
 
     /// Fallible form of [`reduce_scatter`](Comm::reduce_scatter): transport
     /// failures surface as [`MachineError`] instead of panicking.
+    #[must_use = "the Result carries transport failures that must be handled"]
     pub fn try_reduce_scatter(
         &self,
         mut segments: Vec<Vec<f64>>,
     ) -> Result<Vec<f64>, MachineError> {
+        crate::metrics::REDUCE_SCATTER.record(segments.iter().map(Vec::len).sum());
         let _span = self.collective_phase("coll:reduce-scatter");
         let p = self.size();
         let me = self.rank();
@@ -94,6 +96,7 @@ impl Comm {
     }
 
     /// Fallible form of [`reduce_scatter_with`](Comm::reduce_scatter_with).
+    #[must_use = "the Result carries transport failures that must be handled"]
     pub fn try_reduce_scatter_with(
         &self,
         segments: Vec<Vec<f64>>,
@@ -117,6 +120,7 @@ impl Comm {
     /// in half; each rank ships its partial sums for the *other* half's
     /// segments to its mirror partner and accumulates the incoming ones.
     fn rs_recursive_halving(&self, segments: Vec<Vec<f64>>) -> Result<Vec<f64>, MachineError> {
+        crate::metrics::REDUCE_SCATTER.record(segments.iter().map(Vec::len).sum());
         let p = self.size();
         let me = self.rank();
         assert!(p.is_power_of_two());
@@ -165,6 +169,7 @@ impl Comm {
     /// Binomial reduce of the concatenated buffer to rank 0, then a
     /// direct scatter of the reduced segments.
     fn rs_tree_then_scatter(&self, segments: Vec<Vec<f64>>) -> Result<Vec<f64>, MachineError> {
+        crate::metrics::REDUCE_SCATTER.record(segments.iter().map(Vec::len).sum());
         let p = self.size();
         assert_eq!(segments.len(), p);
         let lens: Vec<usize> = segments.iter().map(Vec::len).collect();
@@ -192,6 +197,7 @@ impl Comm {
     }
 
     /// Fallible form of [`reduce_scatter_block`](Comm::reduce_scatter_block).
+    #[must_use = "the Result carries transport failures that must be handled"]
     pub fn try_reduce_scatter_block(
         &self,
         data: &[f64],

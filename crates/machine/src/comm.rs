@@ -23,6 +23,7 @@ use crate::envelope::{Envelope, Garbled, Payload};
 use crate::error::{DeadlockInfo, MachineError, WaitEdge};
 use crate::fault::{mix64, FaultPlan, MessageFaults};
 use crate::trace::{Event, EventKind, Timeline};
+use syrk_telemetry::flight::{self, FlightKind};
 
 /// Phase names under which fault-handling costs are recorded. They are
 /// deliberately distinct from any algorithm phase so that `retry:*` rows
@@ -132,6 +133,36 @@ struct ClearWait<'a> {
 impl Drop for ClearWait<'_> {
     fn drop(&mut self) {
         *self.slot.lock() = None;
+    }
+}
+
+/// Records a `recv:block` flight span from construction to drop, so every
+/// exit path of the blocking receive (match, abort, timeout, deadlock)
+/// closes the span.
+struct RecvSpan {
+    start_ns: Option<u64>,
+    src_world: usize,
+}
+
+impl RecvSpan {
+    fn begin(src_world: usize) -> Self {
+        RecvSpan {
+            start_ns: flight::is_enabled().then(flight::now_ns),
+            src_world,
+        }
+    }
+}
+
+impl Drop for RecvSpan {
+    fn drop(&mut self) {
+        if let Some(t0) = self.start_ns {
+            flight::record(
+                FlightKind::RecvBlock,
+                t0,
+                flight::now_ns(),
+                self.src_world as u64,
+            );
+        }
     }
 }
 
@@ -300,11 +331,19 @@ impl Comm {
         let me = self.world_rank();
         let op = self.world.ops[me].fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(clock) = plan.stall_at(me, op) {
-            self.with_ledger(|l| l.push(RETRY_STALL_PHASE));
-            self.with_cost(|c, _| c.clock += clock);
-            self.with_ledger(|l| l.pop());
+            crate::fault::note_stall();
+            self.charge_retry(
+                RETRY_STALL_PHASE,
+                EventKind::Flops,
+                usize::MAX,
+                0,
+                |c, _| {
+                    c.clock += clock;
+                },
+            );
         }
         if plan.crash_at(me, op) {
+            crate::fault::note_crash();
             let e = MachineError::RankCrashed {
                 rank: me,
                 after_ops: op - 1,
@@ -347,10 +386,23 @@ impl Comm {
         Ok(())
     }
 
-    /// Charge a fault-handling receive (or retransmit) under `phase`.
-    fn charge_retry(&self, phase: &'static str, f: impl FnOnce(&mut RankCost, &CostModel)) {
+    /// Charge a fault-handling receive (or retransmit) under `phase`,
+    /// metering it on the telemetry registry (`syrk_retry_*_handled`).
+    fn charge_retry(
+        &self,
+        phase: &'static str,
+        kind: EventKind,
+        peer: usize,
+        amount: u64,
+        f: impl FnOnce(&mut RankCost, &CostModel),
+    ) {
+        crate::fault::note_retry(phase);
         self.with_ledger(|l| l.push(phase));
         self.with_cost(f);
+        // Traced while the retry phase is still open, so the slice in the
+        // exported timeline is named `retry:*` and a viewer can see which
+        // transmissions were fault repair rather than algorithm traffic.
+        self.trace(kind, peer, amount);
         self.with_ledger(|l| l.pop());
     }
 
@@ -384,18 +436,27 @@ impl Comm {
             (0, 0)
         };
         let mf = if active && !exempt {
-            self.world
+            let mf = self
+                .world
                 .faults
                 .as_ref()
                 .expect("faults_active implies a plan")
-                .decide(me, dst_world, seq)
+                .decide(me, dst_world, seq);
+            crate::fault::note_injected(&mf);
+            mf
         } else {
             MessageFaults::default()
         };
         // Retransmits: each lost attempt costs a full message on the
         // sender but never reaches the wire.
         for _ in 0..mf.drops {
-            self.charge_retry(RETRY_DROP_PHASE, |c, m| c.on_send(words, m));
+            self.charge_retry(
+                RETRY_DROP_PHASE,
+                EventKind::Send,
+                dst_world,
+                words as u64,
+                |c, m| c.on_send(words, m),
+            );
         }
         if mf.corrupt {
             // The garbled copy arrives first and fails the checksum; the
@@ -467,16 +528,24 @@ impl Comm {
             return Some(env);
         }
         if env.wire_checksum != env.checksum {
-            self.charge_retry(RETRY_CORRUPT_PHASE, |c, m| {
-                c.on_recv(env.words, env.sender_ready, m)
-            });
+            self.charge_retry(
+                RETRY_CORRUPT_PHASE,
+                EventKind::Recv,
+                env.src,
+                env.words as u64,
+                |c, m| c.on_recv(env.words, env.sender_ready, m),
+            );
             return None;
         }
         let next = &mut mb.rx_next[env.src];
         if env.seq < *next {
-            self.charge_retry(RETRY_DUP_PHASE, |c, m| {
-                c.on_recv(env.words, env.sender_ready, m)
-            });
+            self.charge_retry(
+                RETRY_DUP_PHASE,
+                EventKind::Recv,
+                env.src,
+                env.words as u64,
+                |c, m| c.on_recv(env.words, env.sender_ready, m),
+            );
             return None;
         }
         *next = env.seq + 1;
@@ -545,6 +614,10 @@ impl Comm {
         let _clear = ClearWait {
             slot: &world.waiting[me],
         };
+        // Wall-clock span covering the whole blocked receive (recorded on
+        // every exit path by the guard — including the deadlock one, so a
+        // failure dump shows how long each rank really sat blocked).
+        let _recv_span = RecvSpan::begin(src_world);
         let deadline = Instant::now() + world.timeout;
         // `(since, progress epoch)` of the oldest tick at which every live
         // rank was observed blocked with this epoch.
@@ -657,6 +730,7 @@ impl Comm {
     /// Fallible form of [`send`](Comm::send): returns an error instead of
     /// panicking when this rank is crashed by the fault plan or the peer
     /// is gone.
+    #[must_use = "the Result carries transport failures that must be handled"]
     pub fn try_send<T: Payload>(
         &self,
         dst: usize,
@@ -703,6 +777,7 @@ impl Comm {
     /// Fallible form of [`recv`](Comm::recv): a watchdog-detected
     /// deadlock, timeout, peer failure, injected crash, or payload type
     /// mismatch is returned as a [`MachineError`] instead of panicking.
+    #[must_use = "the Result carries transport failures that must be handled"]
     pub fn try_recv<T: Payload>(&self, src: usize, tag: u64) -> Result<T, MachineError> {
         assert!(
             src < self.size(),
@@ -755,6 +830,7 @@ impl Comm {
     }
 
     /// Fallible form of [`exchange`](Comm::exchange).
+    #[must_use = "the Result carries transport failures that must be handled"]
     pub fn try_exchange<T: Payload, U: Payload>(
         &self,
         dst: usize,

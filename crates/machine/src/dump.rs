@@ -1,0 +1,213 @@
+//! Post-mortem failure dumps: when a machine run fails, the wait-for
+//! graph, a metrics snapshot, and the wall-clock flight recording are
+//! written to one JSON artifact.
+//!
+//! The watchdog's [`DeadlockInfo`](crate::DeadlockInfo) already says
+//! *who* was blocked on *whom*; the dump adds *what the process was
+//! actually doing* — every registered `syrk_*` counter and, when the
+//! [flight recorder](syrk_telemetry::flight) was enabled, the wall-clock
+//! spans (including the `recv:block` spans of the deadlocked receives
+//! themselves, closed on the abort path) rendered as Chrome trace
+//! events.
+//!
+//! A dump destination can be set two ways:
+//!
+//! * per machine, with
+//!   [`Machine::with_failure_dump`](crate::Machine::with_failure_dump);
+//! * process-wide, with [`set_failure_dump_path`] — for callers (like the
+//!   `syrk-core` algorithms) that construct machines internally.
+//!
+//! The per-machine path wins when both are set. Dump writing is
+//! best-effort: an unwritable path is reported on stderr and never masks
+//! the run's own error.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::error::MachineError;
+use syrk_telemetry::{flight, registry, wall_trace_events};
+
+static GLOBAL_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Set (or clear, with `None`) the process-wide failure-dump path used
+/// by every [`Machine`](crate::Machine) run that has no per-machine path.
+/// Returns the previous setting.
+pub fn set_failure_dump_path(path: Option<PathBuf>) -> Option<PathBuf> {
+    let mut slot = GLOBAL_PATH.lock().unwrap_or_else(|e| e.into_inner());
+    std::mem::replace(&mut slot, path)
+}
+
+fn global_path() -> Option<PathBuf> {
+    GLOBAL_PATH
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn error_kind(err: &MachineError) -> &'static str {
+    match err {
+        MachineError::Deadlock(_) => "deadlock",
+        MachineError::RankCrashed { .. } => "rank_crashed",
+        MachineError::RankPanicked { .. } => "rank_panicked",
+        MachineError::PeerFailed { .. } => "peer_failed",
+        MachineError::RecvTimeout { .. } => "recv_timeout",
+        MachineError::TypeMismatch { .. } => "type_mismatch",
+    }
+}
+
+/// Render the full post-mortem document for `err`: the error, the
+/// wait-for graph (for deadlocks), a snapshot of every registered
+/// metric, and the flight recording as Chrome trace events.
+pub fn failure_dump_string(err: &MachineError) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"kind\": \"{}\",", error_kind(err));
+    let _ = writeln!(out, "  \"error\": \"{}\",", escape(&err.to_string()));
+    if let MachineError::Deadlock(info) = err {
+        out.push_str("  \"wait_for\": [");
+        for (i, e) in info.edges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let phase = match e.phase {
+                Some(p) => format!("\"{}\"", escape(p)),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "{sep}{{\"from\": {}, \"to\": {}, \"op\": \"{}\", \"tag\": [{}, {}], \
+                 \"phase\": {phase}}}",
+                e.from,
+                e.to,
+                escape(e.op),
+                e.tag.0,
+                e.tag.1
+            );
+        }
+        out.push_str("],\n");
+        let finished: Vec<String> = info.finished.iter().map(|r| r.to_string()).collect();
+        let _ = writeln!(out, "  \"finished\": [{}],", finished.join(", "));
+    }
+    let metrics = syrk_telemetry::snapshot_json(&registry::snapshot());
+    let _ = writeln!(out, "  \"metrics\": {},", metrics.trim_end());
+    let rec = flight::collect();
+    let _ = writeln!(out, "  \"flight\": {{");
+    let _ = writeln!(out, "    \"dropped\": {},", rec.dropped);
+    out.push_str("    \"traceEvents\": [");
+    let events = wall_trace_events(&rec, syrk_telemetry::export::WALL_PID);
+    for (i, e) in events.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(out, "{sep}{e}");
+    }
+    out.push_str("]\n  }\n}\n");
+    out
+}
+
+/// Write the post-mortem document for `err` to `path` (see
+/// [`failure_dump_string`]).
+pub fn write_failure_dump(path: &Path, err: &MachineError) -> std::io::Result<()> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, failure_dump_string(err))
+}
+
+/// Best-effort dump on a failed run: the machine's own path wins over
+/// the process-wide one; no configured path means no dump. IO failures
+/// are reported on stderr, never propagated (the run's error is the
+/// story; the dump is a diagnostic side channel).
+pub(crate) fn dump_on_error(machine_path: Option<&Path>, err: &MachineError) {
+    let Some(path) = machine_path.map(Path::to_path_buf).or_else(global_path) else {
+        return;
+    };
+    match write_failure_dump(&path, err) {
+        Ok(()) => eprintln!("failure dump written to {}", path.display()),
+        Err(io) => eprintln!("failed to write failure dump to {}: {io}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{DeadlockInfo, WaitEdge};
+
+    fn deadlock_error() -> MachineError {
+        MachineError::Deadlock(DeadlockInfo {
+            edges: vec![
+                WaitEdge {
+                    from: 0,
+                    to: 1,
+                    op: "recv",
+                    tag: (0, 7),
+                    phase: Some("ring"),
+                },
+                WaitEdge {
+                    from: 1,
+                    to: 0,
+                    op: "recv",
+                    tag: (0, 7),
+                    phase: None,
+                },
+            ],
+            finished: vec![2],
+        })
+    }
+
+    #[test]
+    fn dump_contains_graph_metrics_and_flight() {
+        // Put at least one flight event in the rings so the wall row is
+        // non-trivial.
+        flight::enable();
+        flight::instant(flight::FlightKind::Steal, 1);
+        let doc = failure_dump_string(&deadlock_error());
+        flight::disable();
+        flight::clear();
+        assert!(doc.contains("\"kind\": \"deadlock\""));
+        assert!(doc.contains("\"wait_for\": ["));
+        assert!(doc.contains("\"from\": 0, \"to\": 1"));
+        assert!(doc.contains("\"phase\": \"ring\""));
+        assert!(doc.contains("\"finished\": [2]"));
+        assert!(doc.contains("\"metrics\": {"));
+        assert!(doc.contains("\"counters\""));
+        assert!(doc.contains("\"traceEvents\": ["));
+        assert!(doc.contains("\"wall-clock\""));
+    }
+
+    #[test]
+    fn non_deadlock_dump_skips_wait_for() {
+        let doc = failure_dump_string(&MachineError::RankCrashed {
+            rank: 3,
+            after_ops: 9,
+        });
+        assert!(doc.contains("\"kind\": \"rank_crashed\""));
+        assert!(!doc.contains("\"wait_for\""));
+        assert!(doc.contains("\"metrics\": {"));
+    }
+
+    #[test]
+    fn write_failure_dump_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("syrk_dump_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/dump.json");
+        write_failure_dump(&path, &deadlock_error()).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"kind\": \"deadlock\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -16,6 +16,8 @@
 
 use crate::trace::{Event, EventKind, Timeline};
 use std::fmt::Write as _;
+use syrk_telemetry::export::WALL_PID;
+use syrk_telemetry::{wall_trace_events, FlightRecording};
 
 /// Scale from model time to trace-event microseconds.
 const TS_SCALE: f64 = 1e6;
@@ -109,6 +111,43 @@ pub fn chrome_trace_json(traces: &[Timeline]) -> String {
     out
 }
 
+/// Render per-rank timelines *and* a wall-clock flight recording as one
+/// Chrome trace-event JSON document.
+///
+/// The simulated α-β-γ timelines keep `pid 0` (named `simulated`); the
+/// flight recorder's wall-clock rows appear as a second process,
+/// `pid 1` (named `wall-clock`), one thread row per recorded worker.
+/// The two processes use unrelated time bases — model time scaled to
+/// seconds vs. real nanoseconds rebased to the first event — so viewers
+/// show them as separate, independently-zoomable lanes. An empty
+/// recording degrades to exactly [`chrome_trace_json`]'s output.
+pub fn chrome_trace_json_with_wall(traces: &[Timeline], rec: &FlightRecording) -> String {
+    let base = chrome_trace_json(traces);
+    let wall = wall_trace_events(rec, WALL_PID);
+    if wall.is_empty() {
+        return base;
+    }
+    // Splice the wall rows in before the closing "]}" of the base doc.
+    let mut out = base;
+    let tail = out.len() - 2;
+    debug_assert_eq!(&out[tail..], "]}");
+    out.truncate(tail);
+    if !traces.is_empty() {
+        out.push(',');
+    }
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{{\"name\":\"simulated\"}}}}"
+    );
+    for e in &wall {
+        out.push(',');
+        out.push_str(e);
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Render per-rank timelines as CSV with a header row
 /// (`rank,kind,peer,amount,clock,phase`).
 pub fn timelines_csv(traces: &[Timeline]) -> String {
@@ -178,6 +217,75 @@ mod tests {
         assert_eq!(lines.next(), Some("rank,kind,peer,amount,clock,phase"));
         assert_eq!(lines.next(), Some("0,Send,1,8,8.000000e0,p"));
         assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn csv_export_quotes_injected_phase() {
+        let traces = vec![vec![ev(EventKind::Send, 8.0, Some("x,y\n0,Send,9,9,9,z"))]];
+        let csv = timelines_csv(&traces);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("rank,kind,peer,amount,clock,phase"));
+        // The hostile phase stays inside one quoted field: the first data
+        // line opens the quote and the forged "row" is its continuation,
+        // not a parseable record of its own.
+        assert_eq!(lines.next(), Some("0,Send,1,8,8.000000e0,\"x,y"));
+        assert_eq!(lines.next(), Some("0,Send,9,9,9,z\""));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn wall_merge_adds_second_process_row() {
+        use syrk_telemetry::{FlightEvent, FlightKind};
+        let traces = vec![vec![ev(EventKind::Send, 8.0, Some("p"))]];
+        let rec = FlightRecording {
+            events: vec![FlightEvent {
+                tid: 0,
+                kind: FlightKind::Task,
+                start_ns: 1_000,
+                end_ns: 3_000,
+                arg: 7,
+            }],
+            dropped: 0,
+        };
+        let json = chrome_trace_json_with_wall(&traces, &rec);
+        assert!(json.starts_with('{') && json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"simulated\""));
+        assert!(json.contains("\"wall-clock\""));
+        assert!(json.contains("\"pid\": 1"));
+        assert!(json.contains("\"task\""));
+        // No ",]" or "[,": the splice keeps the array well-formed.
+        assert!(!json.contains(",]") && !json.contains("[,"));
+    }
+
+    #[test]
+    fn wall_merge_with_empty_recording_is_identity() {
+        let traces = vec![vec![ev(EventKind::Send, 8.0, None)]];
+        let rec = FlightRecording {
+            events: vec![],
+            dropped: 0,
+        };
+        assert_eq!(
+            chrome_trace_json_with_wall(&traces, &rec),
+            chrome_trace_json(&traces)
+        );
+    }
+
+    #[test]
+    fn wall_merge_onto_empty_timelines() {
+        use syrk_telemetry::{FlightEvent, FlightKind};
+        let rec = FlightRecording {
+            events: vec![FlightEvent {
+                tid: 2,
+                kind: FlightKind::Steal,
+                start_ns: 5,
+                end_ns: 5,
+                arg: 1,
+            }],
+            dropped: 0,
+        };
+        let json = chrome_trace_json_with_wall(&[], &rec);
+        assert!(json.contains("\"wall-clock\""));
+        assert!(!json.contains(",]") && !json.contains("[,"));
     }
 
     #[test]

@@ -32,6 +32,57 @@
 //! non-retry phase.
 
 use syrk_dense::DetRng;
+use syrk_telemetry::LazyCounter;
+
+static DROPS_INJECTED: LazyCounter = LazyCounter::new("syrk_fault_drops_injected");
+static DUPS_INJECTED: LazyCounter = LazyCounter::new("syrk_fault_dups_injected");
+static CORRUPTS_INJECTED: LazyCounter = LazyCounter::new("syrk_fault_corrupts_injected");
+static DELAYS_INJECTED: LazyCounter = LazyCounter::new("syrk_fault_delays_injected");
+static STALLS_INJECTED: LazyCounter = LazyCounter::new("syrk_fault_stalls_injected");
+static CRASHES_INJECTED: LazyCounter = LazyCounter::new("syrk_fault_crashes_injected");
+static RETRY_DROP: LazyCounter = LazyCounter::new("syrk_retry_drop_handled");
+static RETRY_DUP: LazyCounter = LazyCounter::new("syrk_retry_dup_handled");
+static RETRY_CORRUPT: LazyCounter = LazyCounter::new("syrk_retry_corrupt_handled");
+static RETRY_STALL: LazyCounter = LazyCounter::new("syrk_retry_stall_handled");
+
+/// Meter one message's injected faults on the telemetry registry
+/// (`syrk_fault_*_injected`). Called by the transmit path once per
+/// faulted logical message.
+pub(crate) fn note_injected(mf: &MessageFaults) {
+    DROPS_INJECTED.add(mf.drops as u64);
+    if mf.duplicate {
+        DUPS_INJECTED.inc();
+    }
+    if mf.corrupt {
+        CORRUPTS_INJECTED.inc();
+    }
+    if mf.delay > 0.0 {
+        DELAYS_INJECTED.inc();
+    }
+}
+
+/// Meter an injected rank stall (`syrk_fault_stalls_injected`).
+pub(crate) fn note_stall() {
+    STALLS_INJECTED.inc();
+}
+
+/// Meter an injected rank crash (`syrk_fault_crashes_injected`).
+pub(crate) fn note_crash() {
+    CRASHES_INJECTED.inc();
+}
+
+/// Meter one charged fault-handling step (`syrk_retry_*_handled`),
+/// keyed by the `retry:*` phase name it was charged under. Unknown
+/// phases are ignored (the phase constants are code-owned).
+pub(crate) fn note_retry(phase: &str) {
+    match phase {
+        crate::comm::RETRY_DROP_PHASE => RETRY_DROP.inc(),
+        crate::comm::RETRY_DUP_PHASE => RETRY_DUP.inc(),
+        crate::comm::RETRY_CORRUPT_PHASE => RETRY_CORRUPT.inc(),
+        crate::comm::RETRY_STALL_PHASE => RETRY_STALL.inc(),
+        _ => {}
+    }
+}
 
 /// splitmix64 finalizer, used to key per-message RNG streams and to
 /// derive child communicator ids (see `Comm::split`).

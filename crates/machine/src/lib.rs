@@ -38,23 +38,33 @@
 mod collectives;
 mod comm;
 mod cost;
+pub mod dump;
 mod envelope;
 mod error;
 pub mod export;
 mod fault;
 mod machine;
+mod metrics;
 mod sync;
 mod topology;
 mod trace;
+
+/// Re-export of the workspace telemetry crate: the metrics registry,
+/// the wall-clock flight recorder, and their exporters. The machine's
+/// counters (`syrk_coll_*`, `syrk_fault_*`, `syrk_retry_*`) land on this
+/// registry; `telemetry::flight::enable()` turns on wall-clock recording
+/// for [`chrome_trace_json_with_wall`] and failure dumps.
+pub use syrk_telemetry as telemetry;
 
 pub use collectives::{CollectiveAlg, ReduceScatterAlg};
 pub use comm::{
     Comm, PhaseScope, RETRY_CORRUPT_PHASE, RETRY_DROP_PHASE, RETRY_DUP_PHASE, RETRY_STALL_PHASE,
 };
 pub use cost::{CostModel, CostReport, PhaseCost, PhaseRow, PhaseTable, RankCost, UNTAGGED_PHASE};
+pub use dump::{failure_dump_string, set_failure_dump_path, write_failure_dump};
 pub use envelope::Payload;
 pub use error::{DeadlockInfo, MachineError, WaitEdge};
-pub use export::{chrome_trace_json, timelines_csv};
+pub use export::{chrome_trace_json, chrome_trace_json_with_wall, timelines_csv};
 pub use fault::FaultPlan;
 pub use machine::{Machine, RunOutput};
 pub use topology::{GridComms, ProcessGrid};

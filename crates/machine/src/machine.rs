@@ -3,6 +3,7 @@
 
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -49,6 +50,7 @@ pub struct Machine {
     watchdog: Duration,
     faults: Option<FaultPlan>,
     tracing: bool,
+    failure_dump: Option<PathBuf>,
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -74,7 +76,18 @@ impl Machine {
             watchdog: Duration::from_secs(2),
             faults: None,
             tracing: false,
+            failure_dump: None,
         }
+    }
+
+    /// Write a post-mortem artifact to `path` if the run fails: the
+    /// error, the wait-for graph (for deadlocks), a metrics snapshot,
+    /// and the flight recording as Chrome trace events (see
+    /// [`crate::dump`]). Overrides any process-wide
+    /// [`set_failure_dump_path`](crate::dump::set_failure_dump_path).
+    pub fn with_failure_dump(mut self, path: impl Into<PathBuf>) -> Self {
+        self.failure_dump = Some(path.into());
+        self
     }
 
     /// Enable per-rank communication-event tracing (see
@@ -153,6 +166,7 @@ impl Machine {
     ///     .unwrap_err();
     /// assert!(matches!(err, MachineError::Deadlock(_)));
     /// ```
+    #[must_use = "the Result carries the run's output or its first failure"]
     pub fn try_run<R, F>(&self, f: F) -> Result<RunOutput<R>, MachineError>
     where
         R: Send,
@@ -232,6 +246,7 @@ impl Machine {
             panic!("a Comm outlived the machine run; do not leak communicators from the closure")
         });
         if let Some((_, e)) = world.first_error.into_inner() {
+            crate::dump::dump_on_error(self.failure_dump.as_deref(), &e);
             return Err(e);
         }
         let mut ranks = Vec::with_capacity(p);

@@ -37,8 +37,23 @@ pub struct Event {
     pub phase: Option<&'static str>,
 }
 
+/// Quote a CSV field per RFC 4180 only when it needs it: fields with a
+/// comma, double quote, or line break get wrapped in quotes with embedded
+/// quotes doubled; plain fields pass through unchanged so existing
+/// consumers (and greps) see the same bytes as before.
+pub(crate) fn csv_field(s: &str) -> String {
+    if s.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
 impl Event {
     /// CSV row (kind,peer,amount,clock,phase); `-` for no peer / no phase.
+    /// The phase field — the only caller-supplied string — is quoted per
+    /// RFC 4180 when it contains CSV metacharacters, so a phase name like
+    /// `a,b` cannot smuggle extra columns into the dump.
     pub fn to_csv_row(&self) -> String {
         let peer = if self.peer == usize::MAX {
             "-".to_string()
@@ -50,7 +65,7 @@ impl Event {
             self.kind,
             self.amount,
             self.clock,
-            self.phase.unwrap_or("-")
+            csv_field(self.phase.unwrap_or("-"))
         )
     }
 }
@@ -81,5 +96,34 @@ mod tests {
         };
         assert!(f.to_csv_row().starts_with("Flops,-,7,"));
         assert!(f.to_csv_row().ends_with(",-"));
+    }
+
+    #[test]
+    fn csv_row_quotes_hostile_phase_names() {
+        // A phase name with CSV metacharacters must not add columns or
+        // rows to the dump.
+        let e = Event {
+            kind: EventKind::Send,
+            peer: 1,
+            amount: 2,
+            clock: 1.0,
+            phase: Some("evil,\"инъекция\"\nrow"),
+        };
+        let row = e.to_csv_row();
+        // Still exactly 5 columns: commas inside the quoted field don't
+        // count as separators.
+        assert_eq!(row, "Send,1,2,1.000000e0,\"evil,\"\"инъекция\"\"\nrow\"");
+        assert_eq!(
+            row.split(',').take(4).collect::<Vec<_>>(),
+            ["Send", "1", "2", "1.000000e0"]
+        );
+    }
+
+    #[test]
+    fn csv_field_passes_plain_strings_through() {
+        assert_eq!(csv_field("allgather-A"), "allgather-A");
+        assert_eq!(csv_field("-"), "-");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
     }
 }
