@@ -122,9 +122,11 @@ fn syrk_1d_impl(
     if let Some(plan) = faults {
         machine = machine.with_faults(plan.clone());
     }
-    // Split the hardware threads evenly across the simulated ranks so the
-    // per-rank local SYRK doesn't oversubscribe the host.
-    let _threads = limit_threads(machine_thread_budget(p));
+    // Split the hardware threads evenly across the *concurrently
+    // executing* ranks so the per-rank local SYRK doesn't oversubscribe
+    // the host. Under the event engine ranks run one at a time, so each
+    // may use the full budget.
+    let _threads = limit_threads(machine_thread_budget(machine.concurrent_ranks()));
     let out = machine.try_run(|comm| {
         let l = comm.rank();
         // Line 2–3: local SYRK on the owned column block A_ℓ.

@@ -70,9 +70,18 @@ pub fn syr2k_2d(a: &Matrix<f64>, b: &Matrix<f64>, c: usize, model: CostModel) ->
         let k = comm.rank();
         let n2l = n2;
         // Chunks of both inputs are packed back-to-back per partner, so
-        // the exchange is still a single All-to-All (latency unchanged,
-        // bandwidth doubled).
+        // the exchange is still a single (sparse) All-to-All: latency
+        // matches SYRK's pair-per-partner schedule, bandwidth doubled.
         let my_chunk = |m: &Matrix<f64>, i: usize| ad.extract_chunk(m, i, k);
+        let mut recv_words: Vec<usize> = vec![0; comm.size()];
+        for &i in dist.r_set(k) {
+            let part = ad.chunk_partition(i);
+            for (pos, &m) in dist.q_set(i).iter().enumerate() {
+                if m != k {
+                    recv_words[m] = 2 * part.len(pos);
+                }
+            }
+        }
         let blocks: Vec<Vec<f64>> = (0..comm.size())
             .map(|k2| {
                 if k2 == k {
@@ -88,7 +97,9 @@ pub fn syr2k_2d(a: &Matrix<f64>, b: &Matrix<f64>, c: usize, model: CostModel) ->
                 }
             })
             .collect();
-        let received = comm.all_to_all(blocks);
+        let received = comm
+            .try_all_to_all_v(blocks, &recv_words)
+            .unwrap_or_else(|e| panic!("{e}"));
 
         // Reassemble A_i and B_i from the paired chunks.
         let gather = |i: usize| -> (Matrix<f64>, Matrix<f64>) {

@@ -33,19 +33,28 @@ struct CkLayout {
 impl CkLayout {
     fn new(dist: &TriangleBlockDist, rows: &Partition1D, k: usize) -> Self {
         let mut total = 0;
+        // Zero-sized blocks are omitted, mirroring `twod_body`'s output
+        // convention (they carry no data and would only bloat the layout
+        // when n1 < c² leaves most row blocks empty).
         let offdiag: Vec<_> = dist
             .blocks_of(k)
             .into_iter()
-            .map(|(i, j)| {
+            .filter_map(|(i, j)| {
                 let (ri, rj) = (rows.len(i), rows.len(j));
+                if ri * rj == 0 {
+                    return None;
+                }
                 total += ri * rj;
-                (i, j, ri, rj)
+                Some((i, j, ri, rj))
             })
             .collect();
-        let diag = dist.d_block(k).map(|i| {
+        let diag = dist.d_block(k).and_then(|i| {
             let n = rows.len(i);
+            if n == 0 {
+                return None;
+            }
             total += Diag::Inclusive.packed_len(n);
-            (i, n)
+            Some((i, n))
         });
         CkLayout {
             offdiag,
@@ -214,9 +223,11 @@ fn syrk_3d_impl(
     if let Some(plan) = faults {
         machine = machine.with_faults(plan.clone());
     }
-    // Split the hardware threads evenly across the simulated ranks so the
-    // per-rank kernels don't oversubscribe the host.
-    let _threads = limit_threads(machine_thread_budget(p1 * p2));
+    // Split the hardware threads evenly across the *concurrently
+    // executing* ranks so the per-rank kernels don't oversubscribe the
+    // host. Under the event engine ranks run one at a time, so each may
+    // use the full budget.
+    let _threads = limit_threads(machine_thread_budget(machine.concurrent_ranks()));
     let out = machine.try_run(|mut comm| {
         let gc = grid.split(&mut comm);
         // Line 3: run 2D SYRK within the slice on block column A_{*ℓ}.

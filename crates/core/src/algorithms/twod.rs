@@ -48,54 +48,123 @@ pub(crate) fn twod_body_impl(
     let k = comm.rank();
     let n2l = a_slice.cols();
     // The paper's fixed block size for B: n1n2 / (c²(c+1)), rounded up to
-    // cover uneven chunk splits.
-    let pad_len = (0..dist.num_blocks())
-        .flat_map(|i| dist.q_set(i).iter().map(move |&m| ad.chunk_len(i, m)))
-        .max()
-        .unwrap_or(0);
+    // cover uneven chunk splits. Only the padded variant ships it, and
+    // the scan touches every chunk of every row block, so the tight path
+    // skips it entirely.
+    let pad_len = if padded {
+        (0..dist.num_blocks())
+            .flat_map(|i| dist.q_set(i).iter().map(move |&m| ad.chunk_len(i, m)))
+            .max()
+            .unwrap_or(0)
+    } else {
+        0
+    };
 
-    // Initial distribution: my chunk of each row block in R_k.
-    let my_chunk = |i: usize| ad.extract_chunk(a_slice, i, k);
-
-    // Lines 3–9: pack the per-destination buffer and exchange. The block
-    // destined to k' is my chunk of the unique row block shared with k'
-    // (empty when we share none — those pairs still exchange a zero-word
-    // message in the pairwise algorithm, costing only latency; with
-    // `padded`, every block is stretched to the fixed size like the
-    // paper's B array, so even partnerless pairs ship pad_len words).
-    // The exchange-and-reassemble of A is the phase Theorem 1's Case-2
-    // `n1·n2/√P` term charges: semantically an all-gather of each row
-    // block within its processor set, realized as one all-to-all.
-    let ag_span = comm.phase(PHASE_ALLGATHER_A);
-    let blocks: Vec<Vec<f64>> = (0..comm.size())
-        .map(|k2| {
-            if k2 == k {
-                return Vec::new();
-            }
-            let mut buf = dist.common_block(k, k2).map(&my_chunk).unwrap_or_default();
-            if padded {
-                buf.resize(pad_len, 0.0);
-            }
-            buf
-        })
+    // Initial distribution: my chunk of each row block in R_k, staged
+    // once per block (each chunk ships to c partners and is reused in
+    // the reassembly below).
+    let my_chunks: Vec<(usize, Vec<f64>)> = dist
+        .r_set(k)
+        .iter()
+        .map(|&i| (i, ad.extract_chunk(a_slice, i, k)))
         .collect();
-    let received = comm.try_all_to_all(blocks)?;
+    let my_chunk = |i: usize| -> &[f64] {
+        &my_chunks
+            .iter()
+            .find(|&&(bi, _)| bi == i)
+            .expect("i ∈ R_k")
+            .1
+    };
+    // Lines 3–9: plan and run the exchange. The block destined to k' is
+    // my chunk of the unique row block shared with k' (each pair of
+    // ranks shares at most one). The tight path assembles the plan
+    // *sparsely*: only nonempty row blocks generate traffic, so both the
+    // plan and the per-rank buffers stay O(c · nonempty blocks) instead
+    // of O(P) — dense P-length buffers on every rank are O(P²) bytes
+    // machine-wide, and at 10⁴ ranks that working set turns every
+    // event-engine resume into a cache-cold stall. With `padded`, every
+    // partner (even a partnerless pair) ships the fixed-size block like
+    // the paper's B array, so that variant keeps the dense schedule and
+    // reproduces eq. (10) verbatim. The exchange-and-reassemble of A is
+    // the phase Theorem 1's Case-2 `n1·n2/√P` term charges: semantically
+    // an all-gather of each row block within its processor set, realized
+    // as one all-to-all.
+    enum Exchange {
+        Dense(Vec<Vec<f64>>),
+        Sparse(std::vec::IntoIter<Vec<f64>>),
+    }
+    let ag_span = comm.phase(PHASE_ALLGATHER_A);
+    let mut received = if padded {
+        // The unique row block shared with each partner, read off R_k's
+        // processor sets in O(c²) instead of intersecting R_k with every
+        // other rank's set.
+        let mut shared: Vec<Option<usize>> = vec![None; comm.size()];
+        for &i in dist.r_set(k) {
+            for &m in dist.q_set(i) {
+                if m != k {
+                    debug_assert!(shared[m].is_none(), "two ranks share two row blocks");
+                    shared[m] = Some(i);
+                }
+            }
+        }
+        let blocks: Vec<Vec<f64>> = (0..comm.size())
+            .map(|k2| {
+                if k2 == k {
+                    return Vec::new();
+                }
+                let mut buf = shared[k2].map(|i| my_chunk(i).to_vec()).unwrap_or_default();
+                buf.resize(pad_len, 0.0);
+                buf
+            })
+            .collect();
+        Exchange::Dense(comm.try_all_to_all(blocks)?)
+    } else {
+        let mut sends: Vec<(usize, Vec<f64>)> = Vec::new();
+        let mut recvs: Vec<(usize, usize)> = Vec::new();
+        for &(i, ref ch) in &my_chunks {
+            if ad.block_len(i) == 0 {
+                continue;
+            }
+            let part = ad.chunk_partition(i);
+            for (pos, &m) in dist.q_set(i).iter().enumerate() {
+                if m == k {
+                    continue;
+                }
+                if part.len(pos) > 0 {
+                    recvs.push((m, part.len(pos)));
+                }
+                if !ch.is_empty() {
+                    sends.push((m, ch.clone()));
+                }
+            }
+        }
+        Exchange::Sparse(comm.try_all_to_all_sparse(sends, &recvs)?.into_iter())
+    };
 
     // Lines 10–14: reassemble each full row block A_i from the chunks of
     // Q_i (mine plus the one received from every other member; padded
-    // buffers are truncated back to the true chunk length).
+    // buffers are truncated back to the true chunk length). Q_i order
+    // *is* chunk order, so each chunk's length comes straight from the
+    // block's partition — and the sparse results arrive in exactly this
+    // iteration order (the order the receive plan was built in), so a
+    // plain cursor pairs them up.
     let gathered: Vec<(usize, Matrix<f64>)> = dist
         .r_set(k)
         .iter()
         .map(|&i| {
+            let part = ad.chunk_partition(i);
             let chunks: Vec<Vec<f64>> = dist
                 .q_set(i)
                 .iter()
-                .map(|&m| {
+                .enumerate()
+                .map(|(pos, &m)| {
                     if m == k {
-                        my_chunk(i)
-                    } else {
-                        received[m][..ad.chunk_len(i, m)].to_vec()
+                        return my_chunk(i).to_vec();
+                    }
+                    match &mut received {
+                        Exchange::Dense(bufs) => bufs[m][..part.len(pos)].to_vec(),
+                        Exchange::Sparse(it) if part.len(pos) == 0 => Vec::new(),
+                        Exchange::Sparse(it) => it.next().expect("one block per planned receive"),
                     }
                 })
                 .collect();
@@ -104,11 +173,7 @@ pub(crate) fn twod_body_impl(
         .collect();
     comm.note_buffer(
         gathered.iter().map(|(_, m)| m.len()).sum::<usize>()
-            + dist
-                .r_set(k)
-                .iter()
-                .map(|&i| ad.chunk_len(i, k))
-                .sum::<usize>(),
+            + my_chunks.iter().map(|(_, ch)| ch.len()).sum::<usize>(),
     );
     drop(ag_span);
     let block_for = |i: usize| {
@@ -122,11 +187,20 @@ pub(crate) fn twod_body_impl(
     // Lines 15–17: off-diagonal blocks C_ij = A_i · A_jᵀ, computed in
     // flop-balanced chunks over the rank's thread budget. Results land in
     // per-block slots so `out.offdiag` keeps `blocks_of(k)` order — the 3D
-    // algorithm's C_k layout depends on it. Flops are charged up front,
-    // outside the worker closure, to keep the cost report deterministic.
+    // algorithm's C_k layout depends on it. Zero-sized blocks (n1 < c²
+    // leaves row blocks empty) are omitted entirely, matching
+    // `CkLayout`'s convention: at 10⁴ ranks the c(c−1)/2 pairs per rank
+    // are dominated by empty ones, and materializing ~P·c²/2 zero-sized
+    // outputs costs more than the whole exchange. Flops are charged up
+    // front, outside the worker closure, to keep the cost report
+    // deterministic (empty blocks contribute zero flops anyway).
     let mut out = LocalOutput::default();
     let gemm_span = comm.phase(PHASE_LOCAL_GEMM);
-    let blocks = dist.blocks_of(k);
+    let blocks: Vec<(usize, usize)> = dist
+        .blocks_of(k)
+        .into_iter()
+        .filter(|&(i, j)| block_for(i).rows() > 0 && block_for(j).rows() > 0)
+        .collect();
     let costs: Vec<u64> = blocks
         .iter()
         .map(|&(i, j)| gemm_flops(block_for(i).rows(), block_for(j).rows(), n2l))
@@ -162,15 +236,18 @@ pub(crate) fn twod_body_impl(
     );
     drop(gemm_span);
 
-    // Lines 18–20: the diagonal block, if assigned.
+    // Lines 18–20: the diagonal block, if assigned (and nonempty — the
+    // same zero-sized-block convention as the off-diagonal list).
     if let Some(i) = dist.d_block(k) {
-        let _span = comm.phase(PHASE_LOCAL_SYRK);
         let ai = block_for(i);
-        out.diag.push(DiagBlock {
-            i,
-            data: syrk_packed_new(ai, Diag::Inclusive),
-        });
-        comm.add_flops(syrk_flops(ai.rows(), n2l));
+        if ai.rows() > 0 {
+            let _span = comm.phase(PHASE_LOCAL_SYRK);
+            out.diag.push(DiagBlock {
+                i,
+                data: syrk_packed_new(ai, Diag::Inclusive),
+            });
+            comm.add_flops(syrk_flops(ai.rows(), n2l));
+        }
     }
     Ok(out)
 }
@@ -254,9 +331,11 @@ fn syrk_2d_traced_impl(
     if let Some(plan) = faults {
         machine = machine.with_faults(plan.clone());
     }
-    // Split the hardware threads evenly across the simulated ranks so the
-    // per-rank kernels don't oversubscribe the host.
-    let _threads = limit_threads(machine_thread_budget(dist.p()));
+    // Split the hardware threads evenly across the *concurrently
+    // executing* ranks so the per-rank kernels don't oversubscribe the
+    // host. Under the event engine ranks run one at a time, so each may
+    // use the full budget.
+    let _threads = limit_threads(machine_thread_budget(machine.concurrent_ranks()));
     let out = machine.try_run(|comm| twod_body_impl(&comm, &dist, &ad, a, padded))?;
     let c_full = assemble_c(n1, &ad.rows, &out.results);
     Ok((
@@ -312,8 +391,11 @@ mod tests {
             "measured {measured} vs tight {tight}"
         );
         assert!(measured <= alg2d_predicted_cost(n1, n2, c) + 1.0);
-        // Pairwise exchange: P − 1 messages.
-        assert_eq!(run.cost.max_messages(), (dist_p(c) - 1) as u64);
+        // Sparse pairwise exchange: one message per sharing partner (the
+        // c² other members of R_k's processor sets — every chunk is
+        // nonempty at this shape); partnerless pairs are skipped. The
+        // padded variant keeps the dense P − 1 schedule.
+        assert_eq!(run.cost.max_messages(), (c * c) as u64);
     }
 
     fn dist_p(c: usize) -> usize {

@@ -35,8 +35,9 @@ impl<'d> ConformalADist<'d> {
         self.rows.len(i) * self.n2
     }
 
-    /// The element partition of `A_i` among its `c+1` owners.
-    fn chunk_partition(&self, i: usize) -> Partition1D {
+    /// The element partition of `A_i` among its `c+1` owners, in `Q_i`
+    /// order (chunk `pos` belongs to the `pos`-th member of `Q_i`).
+    pub fn chunk_partition(&self, i: usize) -> Partition1D {
         Partition1D::new(self.block_len(i), self.dist.c() + 1)
     }
 

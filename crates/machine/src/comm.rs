@@ -9,6 +9,7 @@
 //! deadlock watchdog that aborts a run with a wait-for graph when every
 //! live rank is blocked with nothing in flight.
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -46,10 +47,56 @@ pub const RETRY_STALL_PHASE: &str = "retry:stall";
 /// world rank `d`, `rx_next[s]` is the next sequence number expected from
 /// world rank `s` (everything below it is a duplicate).
 pub(crate) struct Mailbox {
-    rx: Receiver<Envelope>,
-    pending: Vec<Envelope>,
+    /// The mpsc endpoint under the threaded engine; `None` under the
+    /// event engine, which delivers through
+    /// [`EventState::inboxes`](crate::engine::EventState) instead.
+    rx: Option<Receiver<Envelope>>,
+    pending: PendingQueue,
+    /// Per-link sequence counters, allocated only when the installed
+    /// fault plan perturbs messages — an unfaulted 10⁵-rank run must not
+    /// pay O(P) per rank (O(P²) machine-wide) for screening it never does.
     tx_seq: Vec<u64>,
     rx_next: Vec<u64>,
+}
+
+/// Unmatched-envelope buffer indexed by `(src, tag)`. Sparse collectives
+/// at 10⁴ ranks desynchronize the ranks enough that thousands of
+/// out-of-order envelopes sit buffered at a hot receiver, so matching
+/// must be a keyed lookup, not a linear scan. Each key's queue keeps
+/// arrival order — the per-link FIFO guarantee that back-to-back
+/// collectives reusing a tag rely on to match their rounds in send
+/// order. Matching itself stays [`Envelope::matches`]: a queue is keyed
+/// by exactly the `(src, tag)` that predicate tests.
+#[derive(Default)]
+struct PendingQueue {
+    by_key: HashMap<(usize, (u64, u64)), VecDeque<Envelope>>,
+    len: usize,
+}
+
+impl PendingQueue {
+    fn push(&mut self, env: Envelope) {
+        debug_assert!(env.matches(env.src, env.tag));
+        self.len += 1;
+        self.by_key
+            .entry((env.src, env.tag))
+            .or_default()
+            .push_back(env);
+    }
+
+    /// Pop the oldest buffered envelope matching `(src, tag)`, if any.
+    fn take(&mut self, src: usize, tag: (u64, u64)) -> Option<Envelope> {
+        let q = self.by_key.get_mut(&(src, tag))?;
+        let env = q.pop_front()?;
+        if q.is_empty() {
+            self.by_key.remove(&(src, tag));
+        }
+        self.len -= 1;
+        Some(env)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
 }
 
 /// Why a blocking receive gave up. Carries enough context to reproduce
@@ -101,6 +148,9 @@ pub(crate) struct World {
     pub faults: Option<FaultPlan>,
     /// Per-rank event logs when tracing is enabled.
     pub traces: Option<Vec<Mutex<Timeline>>>,
+    /// The event-engine fabric when this run is driven by the discrete
+    /// event loop (`None` ⇒ threaded engine, mpsc fabric).
+    pub event: Option<crate::engine::EventState>,
 }
 
 impl World {
@@ -122,6 +172,24 @@ impl World {
             .as_ref()
             .map(|(_, e)| e.clone())
             .unwrap_or(fallback)
+    }
+
+    /// Snapshot the wait-for graph: one edge per live blocked rank, in
+    /// rank order, plus the set of cleanly finished ranks. Shared by the
+    /// watchdog and the event engine's exact detection so both report an
+    /// identical [`DeadlockInfo`] for the same stalled configuration.
+    pub(crate) fn snapshot_deadlock(&self) -> DeadlockInfo {
+        let mut edges = Vec::new();
+        let mut finished = Vec::new();
+        for r in 0..self.size {
+            if self.finished[r].load(Ordering::SeqCst) {
+                finished.push(r);
+            } else if let Some(e) = self.waiting[r].lock().clone() {
+                edges.push(e);
+            }
+        }
+        edges.sort_by_key(|e| e.from);
+        DeadlockInfo { edges, finished }
     }
 }
 
@@ -187,16 +255,24 @@ pub struct Comm {
 }
 
 impl Comm {
-    pub(crate) fn new_world(world: Arc<World>, rank: usize, rx: Receiver<Envelope>) -> Self {
-        let size = world.size;
+    pub(crate) fn new_world(
+        world: Arc<World>,
+        rank: usize,
+        rx: Option<Receiver<Envelope>>,
+        group: Arc<Vec<usize>>,
+    ) -> Self {
+        // Sequence screening is only exercised when faults can perturb
+        // messages; skip the per-rank O(P) counters otherwise.
+        let screened = world.faults.as_ref().is_some_and(|p| p.perturbs_messages());
+        let size = if screened { world.size } else { 0 };
         Comm {
             mailbox: Arc::new(Mutex::new(Mailbox {
                 rx,
-                pending: Vec::new(),
+                pending: PendingQueue::default(),
                 tx_seq: vec![0; size],
                 rx_next: vec![0; size],
             })),
-            group: Arc::new((0..size).collect()),
+            group,
             group_rank: rank,
             comm_id: 0,
             split_seq: 0,
@@ -355,6 +431,13 @@ impl Comm {
     }
 
     fn push_to(&self, dst_world: usize, env: Envelope) -> Result<(), MachineError> {
+        if let Some(ev) = &self.world.event {
+            // Event-engine fabric: a queue push that can also unpark the
+            // destination. Inboxes outlive their rank's closure, so the
+            // send itself never fails.
+            ev.deliver(dst_world, env);
+            return Ok(());
+        }
         self.world.senders[dst_world]
             .send(env)
             .map_err(|_| MachineError::PeerFailed {
@@ -563,17 +646,7 @@ impl Comm {
         {
             return None;
         }
-        let mut edges = Vec::new();
-        let mut finished = Vec::new();
-        for r in 0..world.size {
-            if world.finished[r].load(Ordering::SeqCst) {
-                finished.push(r);
-            } else if let Some(e) = world.waiting[r].lock().clone() {
-                edges.push(e);
-            }
-        }
-        edges.sort_by_key(|e| e.from);
-        let info = DeadlockInfo { edges, finished };
+        let info = world.snapshot_deadlock();
         let mut slot = world.first_error.lock();
         if slot.is_none() {
             *slot = Some((self.world_rank(), MachineError::Deadlock(info.clone())));
@@ -594,15 +667,8 @@ impl Comm {
         let me = self.world_rank();
         let world = &*self.world;
         let mut mb = self.mailbox.lock();
-        if let Some(pos) = mb
-            .pending
-            .iter()
-            .position(|e| e.src == src_world && e.tag == tag)
-        {
-            // `remove`, not `swap_remove`: per-link FIFO order must be
-            // preserved so that back-to-back collectives reusing a tag
-            // match their rounds in send order.
-            return Ok(mb.pending.remove(pos));
+        if let Some(env) = mb.pending.take(src_world, tag) {
+            return Ok(env);
         }
         *world.waiting[me].lock() = Some(WaitEdge {
             from: me,
@@ -618,6 +684,9 @@ impl Comm {
         // every exit path by the guard — including the deadlock one, so a
         // failure dump shows how long each rank really sat blocked).
         let _recv_span = RecvSpan::begin(src_world);
+        if world.event.is_some() {
+            return self.recv_env_event(&mut mb, src_world, tag);
+        }
         let deadline = Instant::now() + world.timeout;
         // `(since, progress epoch)` of the oldest tick at which every live
         // rank was observed blocked with this epoch.
@@ -626,14 +695,15 @@ impl Comm {
             // Poll in short slices so failures elsewhere (panic, crash,
             // watchdog) abort this receive promptly instead of stalling
             // until the full deadlock timeout.
-            match mb.rx.recv_timeout(Duration::from_millis(50)) {
+            let rx = mb.rx.as_ref().expect("threaded engine owns a channel");
+            match rx.recv_timeout(Duration::from_millis(50)) {
                 Ok(env) => {
                     world.progress.fetch_add(1, Ordering::SeqCst);
                     stuck = None;
                     let Some(env) = self.screen(&mut mb, env) else {
                         continue;
                     };
-                    if env.src == src_world && env.tag == tag {
+                    if env.matches(src_world, tag) {
                         return Ok(env);
                     }
                     mb.pending.push(env);
@@ -677,6 +747,53 @@ impl Comm {
                     }
                 }
             }
+        }
+    }
+
+    /// Event-engine tail of the blocking receive: drain this rank's
+    /// inbox, and when it runs dry with no match, park and yield to the
+    /// scheduler. No timeouts and no watchdog heuristics — a deadlock is
+    /// detected exactly by the scheduler (empty ready heap, live ranks),
+    /// which records the error and wakes everyone to observe the abort.
+    ///
+    /// Holding the mailbox guard across the yield is sound: only the
+    /// owning rank ever locks its own mailbox (senders touch the
+    /// [`EventState`](crate::engine::EventState) inbox, not the mailbox),
+    /// and all ranks share one OS thread, so nobody can contend while
+    /// this rank is parked.
+    fn recv_env_event(
+        &self,
+        mb: &mut Mailbox,
+        src_world: usize,
+        tag: (u64, u64),
+    ) -> Result<Envelope, RecvErr> {
+        let me = self.world_rank();
+        let world = &*self.world;
+        let ev = world.event.as_ref().expect("event engine state");
+        loop {
+            loop {
+                let Some(env) = ev.inboxes[me].lock().pop_front() else {
+                    break;
+                };
+                world.progress.fetch_add(1, Ordering::Relaxed);
+                let Some(env) = self.screen(mb, env) else {
+                    continue;
+                };
+                if env.matches(src_world, tag) {
+                    return Ok(env);
+                }
+                mb.pending.push(env);
+            }
+            if world.poisoned.load(Ordering::Relaxed) {
+                return Err(RecvErr::PeerPanicked);
+            }
+            if world.aborted.load(Ordering::SeqCst) {
+                return Err(RecvErr::Aborted(
+                    world.first_error_or(MachineError::PeerFailed { rank: me }),
+                ));
+            }
+            ev.park(me);
+            crate::context::yield_now();
         }
     }
 

@@ -136,6 +136,13 @@ impl RankCost {
     pub fn on_buffer(&mut self, w: usize) {
         self.peak_buffer_words = self.peak_buffer_words.max(w as u64);
     }
+
+    /// The clock as a totally ordered integer sort key: `f64::to_bits`
+    /// preserves ordering for the non-negative finite clocks the cost
+    /// model produces. The event engine's ready heap is keyed on this.
+    pub(crate) fn clock_key(&self) -> u64 {
+        self.clock.to_bits()
+    }
 }
 
 /// Name under which cost deltas are recorded while no phase is active.

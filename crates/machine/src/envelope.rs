@@ -128,6 +128,16 @@ pub(crate) struct Envelope {
     pub payload: Box<dyn Any + Send>,
 }
 
+impl Envelope {
+    /// Whether this envelope satisfies a receive posted for `(src, tag)`.
+    /// The single matching predicate of both engines' receive loops —
+    /// keeping it in one place is part of the cross-engine equivalence
+    /// argument (see `crate::engine`).
+    pub(crate) fn matches(&self, src_world: usize, tag: (u64, u64)) -> bool {
+        self.src == src_world && self.tag == tag
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
