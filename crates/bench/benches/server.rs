@@ -1,0 +1,187 @@
+//! Serving-path bench: warm-cache `/plan` latency and throughput
+//! against a live in-process `syrk-server`.
+//!
+//! Emits `BENCH_server.json` (override with `SYRK_SERVER_JSON`) and
+//! gates the service contract CI cares about:
+//!
+//! 1. **Warm `/plan` throughput**: one client, then 16 concurrent
+//!    clients, hammering a single warmed key over real sockets. Every
+//!    response must be 200, and the plan-cache hit counter must grow by
+//!    at least the number of requests (the stampede fix means exactly
+//!    one miss per cold key, ever).
+//! 2. **`/run` round-trip**: a small simulated 2D SYRK through
+//!    admission control, timed end to end.
+//! 3. **Clean drain**: `POST /shutdown` must return the accept loop
+//!    with `Ok(())`.
+//!
+//! `SYRK_BENCH_FAST=1` trims request counts so CI smoke stays quick.
+
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use syrk_bench::timing::{fast_mode, format_time, RunClock};
+use syrk_machine::telemetry::registry;
+use syrk_server::Server;
+
+fn fail(gate: &str, detail: String) -> ! {
+    eprintln!("GATE FAILED [{gate}]: {detail}");
+    std::process::exit(1);
+}
+
+/// One request over a fresh connection; returns `(status, body)`.
+fn http(addr: SocketAddr, request: String) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to bench server");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let status = response
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.get(..3))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    http(addr, format!("GET {path} HTTP/1.1\r\nHost: b\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str) -> (u16, String) {
+    http(
+        addr,
+        format!("POST {path} HTTP/1.1\r\nHost: b\r\nContent-Length: 0\r\n\r\n"),
+    )
+}
+
+fn cache_hits() -> u64 {
+    registry::snapshot()
+        .counter("syrk_plan_cache_hits")
+        .unwrap_or(0)
+}
+
+fn main() {
+    let fast = fast_mode();
+    let mut clock = RunClock::start();
+
+    let server = Server::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+    println!("== syrk-server serving bench on {addr} ==");
+
+    // Section 1a: sequential warm /plan latency.
+    let path = "/plan?n1=1000&n2=250&p=48";
+    let (status, _) = get(addr, path);
+    if status != 200 {
+        fail("plan", format!("warming request got {status}"));
+    }
+    let sequential = if fast { 50 } else { 500 };
+    let hits_before = cache_hits();
+    let t = Instant::now();
+    for _ in 0..sequential {
+        let (status, _) = get(addr, path);
+        if status != 200 {
+            fail("plan", format!("sequential warm query got {status}"));
+        }
+    }
+    let seq_seconds = t.elapsed().as_secs_f64();
+    let seq_rps = sequential as f64 / seq_seconds;
+    let seq_latency_us = 1e6 * seq_seconds / sequential as f64;
+    println!(
+        "  sequential: {sequential} warm /plan in {} ({seq_rps:.0} req/s, {seq_latency_us:.0} us/req)",
+        format_time(seq_seconds)
+    );
+    clock.mark("sequential_plan");
+
+    // Section 1b: 16 concurrent clients on the same warm key.
+    let clients = 16;
+    let per_client = if fast { 25 } else { 250 };
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            s.spawn(|| {
+                for _ in 0..per_client {
+                    let (status, _) = get(addr, path);
+                    if status != 200 {
+                        fail("plan", format!("concurrent warm query got {status}"));
+                    }
+                }
+            });
+        }
+    });
+    let conc_seconds = t.elapsed().as_secs_f64();
+    let conc_total = clients * per_client;
+    let conc_rps = conc_total as f64 / conc_seconds;
+    println!(
+        "  concurrent: {clients} clients x {per_client} warm /plan in {} ({conc_rps:.0} req/s)",
+        format_time(conc_seconds)
+    );
+    let hits_after = cache_hits();
+    let want = (sequential + conc_total) as u64;
+    if hits_after - hits_before < want {
+        fail(
+            "cache",
+            format!(
+                "warm queries produced {} cache hits, expected >= {want}",
+                hits_after - hits_before
+            ),
+        );
+    }
+    clock.mark("concurrent_plan");
+
+    // Section 2: /run round-trip through admission control.
+    let runs = if fast { 3 } else { 10 };
+    let t = Instant::now();
+    for seed in 0..runs {
+        let (status, body) = post(addr, &format!("/run?alg=2d&n1=60&n2=24&c=3&seed={seed}"));
+        if status != 200 {
+            fail("run", format!("simulated run got {status}: {body}"));
+        }
+    }
+    let run_seconds = t.elapsed().as_secs_f64();
+    let run_ms = 1e3 * run_seconds / runs as f64;
+    println!(
+        "  runs: {runs} simulated 2D SYRK round-trips in {} ({run_ms:.1} ms/run)",
+        format_time(run_seconds)
+    );
+    clock.mark("runs");
+
+    // Section 3: graceful drain gate.
+    let (status, _) = post(addr, "/shutdown");
+    if status != 200 {
+        fail("shutdown", format!("POST /shutdown got {status}"));
+    }
+    match server_thread.join() {
+        Ok(Ok(())) => println!("  shutdown: accept loop drained cleanly"),
+        other => fail("shutdown", format!("accept loop did not drain: {other:?}")),
+    }
+    clock.mark("shutdown");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"server\",");
+    let _ = writeln!(json, "  \"fast_mode\": {fast},");
+    let _ = writeln!(
+        json,
+        "  \"sequential_plan\": {{ \"requests\": {sequential}, \"seconds\": {seq_seconds:.6e}, \"req_per_sec\": {seq_rps:.3e}, \"latency_us\": {seq_latency_us:.3e} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"concurrent_plan\": {{ \"clients\": {clients}, \"per_client\": {per_client}, \"seconds\": {conc_seconds:.6e}, \"req_per_sec\": {conc_rps:.3e} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"runs\": {{ \"count\": {runs}, \"seconds\": {run_seconds:.6e}, \"ms_per_run\": {run_ms:.3e} }},"
+    );
+    let _ = writeln!(json, "  \"clean_shutdown\": true,");
+    let _ = writeln!(json, "  \"wall_clock\": {}", clock.json_object());
+    let _ = writeln!(json, "}}");
+    let path = std::env::var("SYRK_SERVER_JSON").unwrap_or_else(|_| "BENCH_server.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_server.json");
+    println!("wrote {path}");
+}

@@ -145,48 +145,203 @@ pub fn candidate_plans(p: usize) -> Vec<Plan> {
 
 /// Memoized [`plan`] results. Planning is a pure function of
 /// `(n1, n2, p)` but enumerates O(√p·p) candidates; large-P regime
-/// sweeps (the event engine makes 10⁴–10⁵-rank runs routine) hammer the
-/// same keys across experiment points. Bounded: wholesale-cleared when
-/// it would exceed [`PLAN_CACHE_CAP`] entries, so adversarial sweeps
-/// cannot grow it without limit. Hit/miss counts land on the telemetry
-/// registry (`syrk_plan_cache_{hits,misses}`).
-type PlanCacheMap = std::collections::HashMap<(usize, usize, usize), RankedPlan>;
-static PLAN_CACHE: std::sync::OnceLock<std::sync::Mutex<PlanCacheMap>> = std::sync::OnceLock::new();
+/// sweeps (the event engine makes 10⁴–10⁵-rank runs routine) and the
+/// serving path hammer the same keys across experiment points.
+///
+/// Two properties matter under concurrent traffic:
+///
+/// * **Incremental eviction.** The cache is bounded at
+///   [`PLAN_CACHE_CAP`] ready entries, and crossing the cap evicts only
+///   the oldest quarter (FIFO over insertion order) instead of wiping
+///   everything — a sustained varied sweep keeps a warm working set and
+///   never triggers a whole-cache recompute storm. Evicted-entry counts
+///   land on `syrk_plan_cache_evictions`.
+/// * **Miss coalescing.** Concurrent misses for the same key are
+///   stampede-safe: the first thread inserts a pending slot and
+///   computes; later arrivals block on that slot and are served the
+///   published result. Exactly one miss is counted per cold key;
+///   coalesced waiters count as hits (they are served without
+///   recomputing).
+///
+/// Hit/miss/eviction counts land on the telemetry registry
+/// (`syrk_plan_cache_{hits,misses,evictions}`).
+type PlanKey = (usize, usize, usize);
+
+enum Slot {
+    /// A published result.
+    Ready(RankedPlan),
+    /// A miss in flight: the first thread computes, the rest wait here.
+    Pending(std::sync::Arc<Pending>),
+}
+
+enum PendingState {
+    Computing,
+    Done(RankedPlan),
+    /// The computing thread unwound before publishing; waiters retry.
+    Abandoned,
+}
+
+struct Pending {
+    state: std::sync::Mutex<PendingState>,
+    cv: std::sync::Condvar,
+}
+
+impl Pending {
+    fn new() -> Self {
+        Pending {
+            state: std::sync::Mutex::new(PendingState::Computing),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn publish(&self, state: PendingState) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = state;
+        self.cv.notify_all();
+    }
+
+    /// Block until the computing thread publishes; `None` means it
+    /// abandoned the slot (the caller should retry the whole lookup).
+    fn wait(&self) -> Option<RankedPlan> {
+        let mut guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match *guard {
+                PendingState::Computing => {
+                    guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+                }
+                PendingState::Done(v) => return Some(v),
+                PendingState::Abandoned => return None,
+            }
+        }
+    }
+}
+
+struct PlanCache {
+    map: std::collections::HashMap<PlanKey, Slot>,
+    /// Ready keys in publication order — the FIFO eviction queue.
+    /// Invariant: `order` holds exactly the `Ready` keys, each once.
+    order: std::collections::VecDeque<PlanKey>,
+}
+
+static PLAN_CACHE: std::sync::OnceLock<std::sync::Mutex<PlanCache>> = std::sync::OnceLock::new();
 
 /// Entry cap for the plan cache; a full sweep over every (n1, n2, P)
 /// point in the repo's experiments is a few hundred keys.
-const PLAN_CACHE_CAP: usize = 4096;
+pub const PLAN_CACHE_CAP: usize = 4096;
 
 static PLAN_CACHE_HITS: syrk_machine::telemetry::LazyCounter =
     syrk_machine::telemetry::LazyCounter::new("syrk_plan_cache_hits");
 static PLAN_CACHE_MISSES: syrk_machine::telemetry::LazyCounter =
     syrk_machine::telemetry::LazyCounter::new("syrk_plan_cache_misses");
+static PLAN_CACHE_EVICTIONS: syrk_machine::telemetry::LazyCounter =
+    syrk_machine::telemetry::LazyCounter::new("syrk_plan_cache_evictions");
+
+fn plan_cache() -> &'static std::sync::Mutex<PlanCache> {
+    PLAN_CACHE.get_or_init(|| {
+        std::sync::Mutex::new(PlanCache {
+            map: std::collections::HashMap::new(),
+            order: std::collections::VecDeque::new(),
+        })
+    })
+}
+
+/// Number of ready (published) entries currently cached. Exposed for
+/// the eviction regression tests and the server status page.
+#[doc(hidden)]
+pub fn plan_cache_len() -> usize {
+    plan_cache()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .order
+        .len()
+}
+
+/// Removes the pending slot again if the computing thread unwinds
+/// before publishing, so coalesced waiters never hang on a dead miss.
+struct PendingGuard {
+    key: PlanKey,
+    pending: std::sync::Arc<Pending>,
+    published: bool,
+}
+
+impl Drop for PendingGuard {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        let mut cache = plan_cache().lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(cache.map.get(&self.key), Some(Slot::Pending(p)) if std::sync::Arc::ptr_eq(p, &self.pending))
+        {
+            cache.map.remove(&self.key);
+        }
+        drop(cache);
+        self.pending.publish(PendingState::Abandoned);
+    }
+}
 
 /// Pick the feasible plan with the lowest predicted cost for
 /// `(n1, n2)` on at most `p` ranks.
 ///
 /// Results are memoized process-wide: planning is pure, so a repeat
 /// query returns the cached [`RankedPlan`] (it is `Copy`) without
-/// re-enumerating candidates.
+/// re-enumerating candidates. Concurrent cold lookups of the same key
+/// coalesce onto one computation (see the cache docs above).
 pub fn plan(n1: usize, n2: usize, p: usize) -> RankedPlan {
-    let cache = PLAN_CACHE.get_or_init(|| std::sync::Mutex::new(std::collections::HashMap::new()));
-    {
-        let guard = cache.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(hit) = guard.get(&(n1, n2, p)) {
+    let key = (n1, n2, p);
+    loop {
+        let waiter = {
+            let mut cache = plan_cache().lock().unwrap_or_else(|e| e.into_inner());
+            match cache.map.get(&key) {
+                Some(Slot::Ready(hit)) => {
+                    let hit = *hit;
+                    PLAN_CACHE_HITS.inc();
+                    return hit;
+                }
+                Some(Slot::Pending(pending)) => std::sync::Arc::clone(pending),
+                None => {
+                    let pending = std::sync::Arc::new(Pending::new());
+                    cache
+                        .map
+                        .insert(key, Slot::Pending(std::sync::Arc::clone(&pending)));
+                    drop(cache);
+                    // Compute outside the lock: planning can take
+                    // milliseconds at large p, and concurrent queries for
+                    // different keys shouldn't serialize.
+                    PLAN_CACHE_MISSES.inc();
+                    let mut guard = PendingGuard {
+                        key,
+                        pending,
+                        published: false,
+                    };
+                    let ranked = plan_uncached(n1, n2, p);
+                    let mut cache = plan_cache().lock().unwrap_or_else(|e| e.into_inner());
+                    if cache.order.len() >= PLAN_CACHE_CAP {
+                        // Evict the oldest quarter in one deterministic
+                        // batch: bounded work, and the newest 3/4 of the
+                        // working set stays warm.
+                        let batch = PLAN_CACHE_CAP / 4;
+                        for _ in 0..batch {
+                            if let Some(old) = cache.order.pop_front() {
+                                cache.map.remove(&old);
+                            }
+                        }
+                        PLAN_CACHE_EVICTIONS.add(batch as u64);
+                    }
+                    cache.map.insert(key, Slot::Ready(ranked));
+                    cache.order.push_back(key);
+                    drop(cache);
+                    guard.published = true;
+                    guard.pending.publish(PendingState::Done(ranked));
+                    return ranked;
+                }
+            }
+        };
+        // Wait outside the cache lock; a served waiter is a hit (the
+        // coalesced miss was already counted by the computing thread).
+        if let Some(ranked) = waiter.wait() {
             PLAN_CACHE_HITS.inc();
-            return *hit;
+            return ranked;
         }
     }
-    // Compute outside the lock: planning can take milliseconds at large
-    // p, and concurrent queries for different keys shouldn't serialize.
-    PLAN_CACHE_MISSES.inc();
-    let ranked = plan_uncached(n1, n2, p);
-    let mut guard = cache.lock().unwrap_or_else(|e| e.into_inner());
-    if guard.len() >= PLAN_CACHE_CAP {
-        guard.clear();
-    }
-    guard.insert((n1, n2, p), ranked);
-    ranked
 }
 
 /// The uncached planner: enumerate every feasible candidate and rank by

@@ -1,0 +1,114 @@
+//! Regression tests for the plan cache under adversarial traffic:
+//! incremental (never wholesale) eviction past `PLAN_CACHE_CAP`, and
+//! stampede-safe miss coalescing for concurrent cold lookups.
+//!
+//! These live in their own integration-test binary so the process-global
+//! cache and its telemetry counters are touched only by this file; the
+//! `cache_lock` below serializes the tests within it, which makes every
+//! counter-delta assertion exact rather than monotone.
+
+use std::sync::{Barrier, Mutex, MutexGuard};
+
+use syrk_core::{plan, plan_cache_len, PLAN_CACHE_CAP};
+use syrk_machine::telemetry::registry::{snapshot, MetricsSnapshot};
+
+fn cache_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn counter(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.counter(name).unwrap_or(0)
+}
+
+#[test]
+fn concurrent_cold_key_hammer_records_exactly_one_miss() {
+    let _serial = cache_lock();
+    // A key no other test in this binary (or the sweep below, which uses
+    // p <= 64) touches.
+    let (n1, n2, p) = (12_345, 679, 211);
+    let threads = 16;
+    let before = snapshot();
+    let barrier = Barrier::new(threads);
+    let results: Vec<_> = std::thread::scope(|s| {
+        (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    barrier.wait();
+                    plan(n1, n2, p)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("planner thread panicked"))
+            .collect()
+    });
+    let after = snapshot();
+    let misses =
+        counter(&after, "syrk_plan_cache_misses") - counter(&before, "syrk_plan_cache_misses");
+    let hits = counter(&after, "syrk_plan_cache_hits") - counter(&before, "syrk_plan_cache_hits");
+    assert_eq!(misses, 1, "concurrent cold misses must coalesce into one");
+    assert_eq!(
+        hits,
+        threads as u64 - 1,
+        "every coalesced waiter is served from the one computation"
+    );
+    // Everyone saw the same bitwise-identical plan.
+    let first = &results[0];
+    for r in &results {
+        assert_eq!(r.plan, first.plan);
+        assert_eq!(r.predicted_cost.to_bits(), first.predicted_cost.to_bits());
+        assert_eq!(r.bound.to_bits(), first.bound.to_bits());
+    }
+}
+
+#[test]
+fn sweep_past_cap_evicts_incrementally_and_keeps_hit_rate() {
+    let _serial = cache_lock();
+    // Sweep strictly more distinct keys than the cap. Keys are cheap to
+    // plan (small p) and disjoint from the hammer test's key space.
+    let extra = 512;
+    let keys: Vec<(usize, usize, usize)> = (0..PLAN_CACHE_CAP + extra)
+        .map(|i| (2 + i, 1 + (i % 97), 1 + (i % 64)))
+        .collect();
+    let before = snapshot();
+    for &(n1, n2, p) in &keys {
+        plan(n1, n2, p);
+    }
+    let mid = snapshot();
+    let sweep_misses =
+        counter(&mid, "syrk_plan_cache_misses") - counter(&before, "syrk_plan_cache_misses");
+    assert_eq!(sweep_misses, keys.len() as u64, "distinct keys all miss");
+    // Crossing the cap evicted *incrementally*: some entries went, but
+    // the cache was never wiped — a warm working set survives.
+    let evictions =
+        counter(&mid, "syrk_plan_cache_evictions") - counter(&before, "syrk_plan_cache_evictions");
+    assert!(evictions > 0, "the sweep must cross the cap and evict");
+    assert!(
+        evictions < keys.len() as u64 / 2,
+        "eviction must be a bounded fraction, not a wipe ({evictions} evicted)"
+    );
+    let len = plan_cache_len();
+    assert!(len <= PLAN_CACHE_CAP, "cache stays bounded ({len})");
+    assert!(
+        len >= PLAN_CACHE_CAP / 2,
+        "cache must retain a warm working set after eviction ({len})"
+    );
+    // The most recently inserted keys survive FIFO eviction, so
+    // re-querying them is all hits: the hit rate never drops to zero.
+    let probes = &keys[keys.len() - 256..];
+    for &(n1, n2, p) in probes {
+        plan(n1, n2, p);
+    }
+    let after = snapshot();
+    let probe_hits =
+        counter(&after, "syrk_plan_cache_hits") - counter(&mid, "syrk_plan_cache_hits");
+    let probe_misses =
+        counter(&after, "syrk_plan_cache_misses") - counter(&mid, "syrk_plan_cache_misses");
+    assert_eq!(
+        probe_hits,
+        probes.len() as u64,
+        "recent keys must still be cached after crossing the cap"
+    );
+    assert_eq!(probe_misses, 0, "no recompute storm for the warm tail");
+}

@@ -66,7 +66,10 @@ pub use comm::{
     Comm, PhaseScope, RETRY_CORRUPT_PHASE, RETRY_DROP_PHASE, RETRY_DUP_PHASE, RETRY_STALL_PHASE,
 };
 pub use cost::{CostModel, CostReport, PhaseCost, PhaseRow, PhaseTable, RankCost, UNTAGGED_PHASE};
-pub use dump::{failure_dump_string, set_failure_dump_path, write_failure_dump};
+pub use dump::{
+    failure_dump_string, scoped_failure_dump_path, set_failure_dump_path, write_failure_dump,
+    ScopedFailureDumpGuard,
+};
 pub use envelope::Payload;
 pub use error::{DeadlockInfo, MachineError, WaitEdge};
 pub use export::{chrome_trace_json, chrome_trace_json_with_wall, timelines_csv};

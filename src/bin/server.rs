@@ -1,0 +1,84 @@
+//! `cargo run --release --bin server` — SYRK-as-a-service.
+//!
+//! Binds the persistent planning/execution HTTP server from
+//! `syrk-server` and blocks until `POST /shutdown` drains it (exit 0).
+//!
+//! ```text
+//! server [--addr HOST:PORT] [--workers N] [--max-concurrent-runs N]
+//!        [--max-queued-runs N] [--dump-dir DIR]
+//! ```
+
+use std::process::ExitCode;
+
+use syrk_server::{Server, ServerConfig};
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: server [--addr HOST:PORT] [--workers N] \
+                     [--max-concurrent-runs N] [--max-queued-runs N] [--dump-dir DIR]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            "--addr" => match args.next() {
+                Some(v) => addr = v,
+                None => return usage_error("--addr needs a HOST:PORT value"),
+            },
+            "--workers" => match parse_count(args.next(), "--workers") {
+                Ok(v) => config.workers = v,
+                Err(code) => return code,
+            },
+            "--max-concurrent-runs" => match parse_count(args.next(), "--max-concurrent-runs") {
+                Ok(v) => config.max_concurrent_runs = v,
+                Err(code) => return code,
+            },
+            "--max-queued-runs" => match parse_count(args.next(), "--max-queued-runs") {
+                Ok(v) => config.max_queued_runs = v,
+                Err(code) => return code,
+            },
+            "--dump-dir" => match args.next() {
+                Some(v) => config.dump_dir = Some(v.into()),
+                None => return usage_error("--dump-dir needs a directory"),
+            },
+            other => return usage_error(&format!("unknown flag {other:?}")),
+        }
+    }
+    let server = match Server::bind_with(&addr, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("server: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("syrk-server listening on http://{}", server.local_addr());
+    match server.run() {
+        Ok(()) => {
+            println!("syrk-server drained; goodbye");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("server: accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_count(value: Option<String>, flag: &str) -> Result<usize, ExitCode> {
+    match value.as_deref().map(str::parse::<usize>) {
+        Some(Ok(v)) if v >= 1 => Ok(v),
+        _ => {
+            eprintln!("server: {flag} needs a positive integer");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("server: {msg} (see --help)");
+    ExitCode::FAILURE
+}
