@@ -1,0 +1,193 @@
+//! Recovery-overhead bench: what does surviving a crash cost?
+//!
+//! Emits `BENCH_recovery.json` (override with `SYRK_RECOVERY_JSON`).
+//! One scenario, three measurements:
+//!
+//! 1. **Recovered run**: a 2D SYRK with an injected rank crash driven
+//!    to completion by `run_with_recovery` — wall-clock, the words
+//!    charged to each `recover:*` phase (the traffic that sits outside
+//!    the Theorem 1 accounting), and the simulated backoff clock.
+//! 2. **Clean baseline**: the same instance run directly on the
+//!    replanned grid `P′`, so the recovery overhead is the difference
+//!    against the run the planner would have launched had it known.
+//! 3. **Detect → replan latency**: an isolated agreement round
+//!    (`try_agree_on_failures`) plus a fresh §5.4 `plan()` call at
+//!    `P′`, timed on the wall clock — the control-plane cost of a
+//!    shrink, separate from re-executing the SYRK itself.
+//!
+//! Gates: recovery must actually charge `recover:*` words, and the
+//! recovered `C` must be bitwise identical to the clean baseline's
+//! (the successful attempt runs the very same grid on the same input).
+//!
+//! `SYRK_BENCH_FAST=1` shrinks the instance for CI.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use syrk_bench::timing::{fast_mode, format_time, RunClock};
+use syrk_core::{plan, run_with_recovery, Plan, RecoveryPolicy};
+use syrk_dense::seeded_matrix;
+use syrk_machine::{
+    CostModel, FaultPlan, Machine, RECOVER_AGREE_PHASE, RECOVER_BACKOFF_PHASE,
+    RECOVER_DETECT_PHASE, RECOVER_REDISTRIBUTE_PHASE,
+};
+
+fn fail(gate: &str, detail: String) -> ! {
+    eprintln!("GATE FAILED [{gate}]: {detail}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let fast = fast_mode();
+    let mut clock = RunClock::start();
+    let model = CostModel::bandwidth_only();
+    let policy = RecoveryPolicy::default();
+
+    // c prime: c = 3 gives P = 12, c = 5 gives P = 30.
+    let (n1, n2, c) = if fast {
+        (96usize, 32usize, 3usize)
+    } else {
+        (240, 64, 5)
+    };
+    let initial = Plan::TwoD { c };
+    let p0 = initial.ranks();
+    let crashed_rank = 3usize;
+    let a = seeded_matrix::<f64>(n1, n2, 13);
+    println!("== crash recovery on 2D SYRK (A {n1}x{n2}, c = {c}, P = {p0}) ==");
+
+    // Section 1: the recovered run.
+    let faults = FaultPlan::seeded(21).crash_rank(crashed_rank, 1);
+    let t = Instant::now();
+    let (recovered, report) = run_with_recovery(&a, initial, model, Some(&faults), &policy)
+        .unwrap_or_else(|e| fail("recovered-run", format!("did not recover: {e}")));
+    let recovered_seconds = t.elapsed().as_secs_f64();
+    if !report.recovered || report.recovery_words == 0 {
+        fail(
+            "recovered-run",
+            format!(
+                "expected a recovery with nonzero recover:* traffic, got {} words over {} attempts",
+                report.recovery_words,
+                report.attempts.len()
+            ),
+        );
+    }
+    let p_final = report.final_plan.ranks();
+    let phase_words = |name: &str| -> u64 {
+        (0..p_final)
+            .filter_map(|r| recovered.cost.phase_cost(r, name))
+            .map(|ph| ph.words_sent)
+            .sum()
+    };
+    let detect_words = phase_words(RECOVER_DETECT_PHASE);
+    let agree_words = phase_words(RECOVER_AGREE_PHASE);
+    let redistribute_words = phase_words(RECOVER_REDISTRIBUTE_PHASE);
+    let backoff_clock_max = (0..p_final)
+        .filter_map(|r| recovered.cost.phase_cost(r, RECOVER_BACKOFF_PHASE))
+        .map(|ph| ph.clock)
+        .fold(0.0f64, f64::max);
+    println!(
+        "  recovered in {} onto {:?} (P' = {p_final}): {} recover:* words \
+         (detect {detect_words}, agree {agree_words}, redistribute {redistribute_words}), backoff clock {:.1}",
+        format_time(recovered_seconds),
+        report.final_plan,
+        report.recovery_words,
+        report.backoff_clock,
+    );
+    clock.mark("recovered_run");
+
+    // Section 2: the clean baseline on the replanned grid.
+    let t = Instant::now();
+    let (clean, clean_report) = run_with_recovery(&a, report.final_plan, model, None, &policy)
+        .unwrap_or_else(|e| fail("clean-baseline", format!("clean run failed: {e}")));
+    let clean_seconds = t.elapsed().as_secs_f64();
+    if clean_report.recovered {
+        fail("clean-baseline", "the baseline must not recover".into());
+    }
+    for i in 0..recovered.c.rows() {
+        for j in 0..recovered.c.cols() {
+            if recovered.c[(i, j)].to_bits() != clean.c[(i, j)].to_bits() {
+                fail(
+                    "bitwise-c",
+                    format!(
+                        "recovered C[{i},{j}] = {} != clean {}",
+                        recovered.c[(i, j)],
+                        clean.c[(i, j)]
+                    ),
+                );
+            }
+        }
+    }
+    let clean_words = clean.cost.total_words();
+    let overhead = report.recovery_words as f64 / clean_words as f64;
+    println!(
+        "  clean P' = {p_final} baseline in {}: {clean_words} total words — recovery overhead {:.2}% of a clean run",
+        format_time(clean_seconds),
+        100.0 * overhead,
+    );
+    clock.mark("clean_baseline");
+
+    // Section 3: detect → replan latency, isolated from re-execution.
+    let t = Instant::now();
+    Machine::new(p_final)
+        .with_model(model)
+        .try_run(|comm| comm.try_agree_on_failures(&[crashed_rank]).map(drop))
+        .unwrap_or_else(|e| fail("detect-replan", format!("agreement failed: {e}")));
+    let replanned = plan(n1, n2, p_final);
+    let detect_replan_seconds = t.elapsed().as_secs_f64();
+    if replanned.plan != report.final_plan {
+        fail(
+            "detect-replan",
+            format!(
+                "planner disagrees with the recovered run: {:?} vs {:?}",
+                replanned.plan, report.final_plan
+            ),
+        );
+    }
+    println!(
+        "  detect -> agree -> replan at P' = {p_final}: {} wall-clock",
+        format_time(detect_replan_seconds),
+    );
+    clock.mark("detect_replan");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"recovery\",");
+    let _ = writeln!(json, "  \"fast_mode\": {fast},");
+    let _ = writeln!(
+        json,
+        "  \"instance\": {{ \"n1\": {n1}, \"n2\": {n2}, \"initial_plan\": \"{initial:?}\", \"initial_ranks\": {p0}, \"crashed_rank\": {crashed_rank} }},"
+    );
+    let _ = writeln!(json, "  \"recovered\": {{");
+    let _ = writeln!(json, "    \"seconds\": {recovered_seconds:.6e},");
+    let _ = writeln!(json, "    \"attempts\": {},", report.attempts.len());
+    let _ = writeln!(
+        json,
+        "    \"final_plan\": \"{:?}\", \"final_ranks\": {p_final},",
+        report.final_plan
+    );
+    let _ = writeln!(json, "    \"recovery_words\": {},", report.recovery_words);
+    let _ = writeln!(
+        json,
+        "    \"recover_phases\": {{ \"detect\": {detect_words}, \"agree\": {agree_words}, \"redistribute\": {redistribute_words} }},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"backoff_clock\": {:.3}, \"backoff_clock_max_rank\": {backoff_clock_max:.3}",
+        report.backoff_clock
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"clean_baseline\": {{ \"seconds\": {clean_seconds:.6e}, \"total_words\": {clean_words} }},"
+    );
+    let _ = writeln!(json, "  \"overhead_words_vs_clean\": {overhead:.6},");
+    let _ = writeln!(
+        json,
+        "  \"detect_replan_seconds\": {detect_replan_seconds:.6e},"
+    );
+    let _ = writeln!(json, "  \"bitwise_c_ok\": true,");
+    let _ = writeln!(json, "  \"wall_clock\": {}", clock.json_object());
+    let _ = writeln!(json, "}}");
+    let path = std::env::var("SYRK_RECOVERY_JSON").unwrap_or_else(|_| "BENCH_recovery.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_recovery.json");
+    println!("wrote {path}");
+}

@@ -12,8 +12,12 @@ mod twod;
 pub use baselines::{gemm_1d, gemm_2d, gemm_3d, scalapack_syrk_2d};
 pub use common::{assemble_c, DiagBlock, LocalOutput, OffDiagBlock, SyrkRunResult};
 pub use limited::syrk_2d_limited;
-pub use oned::{syrk_1d, syrk_1d_traced, syrk_1d_with, try_syrk_1d, try_syrk_1d_traced};
+pub use oned::{
+    syrk_1d, syrk_1d_traced, syrk_1d_with, try_syrk_1d, try_syrk_1d_abft, try_syrk_1d_traced,
+};
 pub use symm::{symm_2d, symm_reference, SymmRunResult};
 pub use syr2k::{syr2k_1d, syr2k_2d};
 pub use threed::{syrk_3d, syrk_3d_traced, try_syrk_3d, try_syrk_3d_traced};
-pub use twod::{syrk_2d, syrk_2d_padded, syrk_2d_traced, try_syrk_2d, try_syrk_2d_traced};
+pub use twod::{
+    syrk_2d, syrk_2d_padded, syrk_2d_traced, try_syrk_2d, try_syrk_2d_abft, try_syrk_2d_traced,
+};

@@ -13,7 +13,7 @@ use syrk_dense::{
     limit_threads, machine_thread_budget, syrk_flops, syrk_packed_new, Diag, Matrix, PackedLower,
     Partition1D,
 };
-use syrk_machine::{CostModel, FaultPlan, Machine, ReduceScatterAlg, Timeline};
+use syrk_machine::{CostModel, FaultPlan, Machine, MachineError, ReduceScatterAlg, Timeline};
 
 use super::common::SyrkRunResult;
 use crate::attribution::{PHASE_LOCAL_SYRK, PHASE_REDUCE_SCATTER_C};
@@ -39,7 +39,7 @@ pub fn syrk_1d_with(
     model: CostModel,
     rs_alg: ReduceScatterAlg,
 ) -> SyrkRunResult {
-    match syrk_1d_impl(a, p, model, rs_alg, false, None) {
+    match syrk_1d_impl(a, p, model, rs_alg, false, None, false) {
         Ok((run, _)) => run,
         Err(e) => panic!("{e}"),
     }
@@ -63,6 +63,32 @@ pub fn try_syrk_1d(
         ReduceScatterAlg::PairwiseExchange,
         false,
         faults,
+        false,
+    )
+    .map(|(run, _)| run)
+}
+
+/// [`try_syrk_1d`] with ABFT checksum verification: each rank checks its
+/// local packed contribution `C̄_ℓ = A_ℓ·A_ℓᵀ` against independently
+/// computed row checksums (`crate::abft`) before the Reduce-Scatter, so
+/// a corrupt-but-undetected local result surfaces as
+/// [`MachineError::DataCorruption`] instead of silently poisoning `C`.
+/// Verification flops are charged under the `abft:verify` phase.
+#[must_use = "the Result carries the simulated run's outcome or failure"]
+pub fn try_syrk_1d_abft(
+    a: &Matrix<f64>,
+    p: usize,
+    model: CostModel,
+    faults: Option<&FaultPlan>,
+) -> Result<SyrkRunResult, SyrkError> {
+    syrk_1d_impl(
+        a,
+        p,
+        model,
+        ReduceScatterAlg::PairwiseExchange,
+        false,
+        faults,
+        true,
     )
     .map(|(run, _)| run)
 }
@@ -92,10 +118,12 @@ pub fn try_syrk_1d_traced(
         ReduceScatterAlg::PairwiseExchange,
         true,
         faults,
+        false,
     )?;
     Ok((run, traces.expect("tracing was enabled")))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn syrk_1d_impl(
     a: &Matrix<f64>,
     p: usize,
@@ -103,6 +131,7 @@ fn syrk_1d_impl(
     rs_alg: ReduceScatterAlg,
     tracing: bool,
     faults: Option<&FaultPlan>,
+    abft: bool,
 ) -> Result<(SyrkRunResult, Option<Vec<Timeline>>), SyrkError> {
     let (n1, n2) = a.shape();
     if p == 0 {
@@ -131,14 +160,24 @@ fn syrk_1d_impl(
         let l = comm.rank();
         // Line 2–3: local SYRK on the owned column block A_ℓ.
         let r = cols.range(l);
-        let cbar = {
+        let (cbar, a_l) = {
             let _span = comm.phase(PHASE_LOCAL_SYRK);
             let a_l = a.block_owned(0, r.start, n1, r.len());
             let cbar = syrk_packed_new(&a_l, Diag::Inclusive);
             comm.add_flops(syrk_flops(n1, r.len()));
             comm.note_buffer(a_l.len() + cbar.len());
-            cbar
+            (cbar, a_l)
         };
+        if abft {
+            let _span = comm.phase(crate::abft::PHASE_ABFT);
+            comm.add_flops(crate::abft::block_check_flops(n1, n1, r.len()));
+            crate::abft::verify_diag_block(&a_l, &cbar, l).map_err(|detail| {
+                MachineError::DataCorruption {
+                    rank: comm.world_rank(),
+                    detail,
+                }
+            })?;
+        }
         // Line 4: Reduce-Scatter of the packed triangle, evenly split.
         let _span = comm.phase(PHASE_REDUCE_SCATTER_C);
         let segs: Vec<Vec<f64>> = {

@@ -150,7 +150,14 @@ pub fn symm_2d(a_sym: &Matrix<f64>, b: &Matrix<f64>, c: usize, model: CostModel)
                 }
                 match dist.common_block(k, k2) {
                     Some(i) => {
-                        let mat = &partial.iter().find(|(bi, _)| *bi == i).unwrap().1;
+                        let mat = &partial
+                            .iter()
+                            .find(|(bi, _)| *bi == i)
+                            .expect(
+                                "common_block(k, k2) = Some(i) implies i ∈ R_k, and `partial` \
+                                 holds one accumulator per block of R_k",
+                            )
+                            .1;
                         chunk_of(mat, i, k2)
                     }
                     None => Vec::new(),

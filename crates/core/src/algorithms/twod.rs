@@ -29,7 +29,7 @@ pub(crate) fn twod_body(
     ad: &ConformalADist,
     a_slice: &Matrix<f64>,
 ) -> Result<LocalOutput, MachineError> {
-    twod_body_impl(comm, dist, ad, a_slice, false)
+    twod_body_impl(comm, dist, ad, a_slice, false, false)
 }
 
 /// Like [`twod_body`] but with the exchange buffer `B` padded to `P`
@@ -43,6 +43,7 @@ pub(crate) fn twod_body_impl(
     ad: &ConformalADist,
     a_slice: &Matrix<f64>,
     padded: bool,
+    abft: bool,
 ) -> Result<LocalOutput, MachineError> {
     assert_eq!(comm.size(), dist.p(), "2D body needs exactly c(c+1) ranks");
     let k = comm.rank();
@@ -249,6 +250,28 @@ pub(crate) fn twod_body_impl(
             comm.add_flops(syrk_flops(ai.rows(), n2l));
         }
     }
+
+    // ABFT: verify every produced block against its row checksums,
+    // computed independently from the gathered A blocks, before the
+    // contribution leaves this rank (`C_ij·1 = A_i·(A_jᵀ·1)`).
+    if abft {
+        let _span = comm.phase(crate::abft::PHASE_ABFT);
+        let corrupt = |detail| MachineError::DataCorruption {
+            rank: comm.world_rank(),
+            detail,
+        };
+        for blk in &out.offdiag {
+            let (ai, aj) = (block_for(blk.i), block_for(blk.j));
+            comm.add_flops(crate::abft::block_check_flops(ai.rows(), aj.rows(), n2l));
+            crate::abft::verify_offdiag_block(ai, aj, &blk.data, blk.i, blk.j)
+                .map_err(&corrupt)?;
+        }
+        for blk in &out.diag {
+            let ai = block_for(blk.i);
+            comm.add_flops(crate::abft::block_check_flops(ai.rows(), ai.rows(), n2l));
+            crate::abft::verify_diag_block(ai, &blk.data, blk.i).map_err(&corrupt)?;
+        }
+    }
     Ok(out)
 }
 
@@ -267,7 +290,7 @@ pub fn syrk_2d_padded(a: &Matrix<f64>, c: usize, model: CostModel) -> SyrkRunRes
 }
 
 fn syrk_2d_impl(a: &Matrix<f64>, c: usize, model: CostModel, padded: bool) -> SyrkRunResult {
-    match syrk_2d_traced_impl(a, c, model, padded, false, None) {
+    match syrk_2d_traced_impl(a, c, model, padded, false, None, false) {
         Ok((run, _)) => run,
         Err(e) => panic!("{e}"),
     }
@@ -284,7 +307,24 @@ pub fn try_syrk_2d(
     model: CostModel,
     faults: Option<&FaultPlan>,
 ) -> Result<SyrkRunResult, SyrkError> {
-    syrk_2d_traced_impl(a, c, model, false, false, faults).map(|(run, _)| run)
+    syrk_2d_traced_impl(a, c, model, false, false, faults, false).map(|(run, _)| run)
+}
+
+/// [`try_syrk_2d`] with ABFT checksum verification: every rank checks
+/// each off-diagonal block `C_ij` against `A_i·(A_jᵀ·1)` and its
+/// diagonal block against the analogous packed-row checksums before the
+/// blocks are assembled, so a corrupt-but-undetected local product
+/// surfaces as [`MachineError::DataCorruption`] naming the block instead
+/// of silently poisoning `C`. Verification flops are charged under the
+/// `abft:verify` phase.
+#[must_use = "the Result carries the simulated run's outcome or failure"]
+pub fn try_syrk_2d_abft(
+    a: &Matrix<f64>,
+    c: usize,
+    model: CostModel,
+    faults: Option<&FaultPlan>,
+) -> Result<SyrkRunResult, SyrkError> {
+    syrk_2d_traced_impl(a, c, model, false, false, faults, true).map(|(run, _)| run)
 }
 
 /// Algorithm 2 with event tracing enabled: returns the run result plus
@@ -305,10 +345,11 @@ pub fn try_syrk_2d_traced(
     model: CostModel,
     faults: Option<&FaultPlan>,
 ) -> Result<(SyrkRunResult, Vec<syrk_machine::Timeline>), SyrkError> {
-    let (run, traces) = syrk_2d_traced_impl(a, c, model, false, true, faults)?;
+    let (run, traces) = syrk_2d_traced_impl(a, c, model, false, true, faults, false)?;
     Ok((run, traces.expect("tracing was enabled")))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn syrk_2d_traced_impl(
     a: &Matrix<f64>,
     c: usize,
@@ -316,6 +357,7 @@ fn syrk_2d_traced_impl(
     padded: bool,
     tracing: bool,
     faults: Option<&FaultPlan>,
+    abft: bool,
 ) -> Result<(SyrkRunResult, Option<Vec<syrk_machine::Timeline>>), SyrkError> {
     let dist = TriangleBlockDist::for_order(c).ok_or(PlanError::UnsupportedOrder { c })?;
     let (n1, n2) = a.shape();
@@ -336,7 +378,7 @@ fn syrk_2d_traced_impl(
     // host. Under the event engine ranks run one at a time, so each may
     // use the full budget.
     let _threads = limit_threads(machine_thread_budget(machine.concurrent_ranks()));
-    let out = machine.try_run(|comm| twod_body_impl(&comm, &dist, &ad, a, padded))?;
+    let out = machine.try_run(|comm| twod_body_impl(&comm, &dist, &ad, a, padded, abft))?;
     let c_full = assemble_c(n1, &ad.rows, &out.results);
     Ok((
         SyrkRunResult {

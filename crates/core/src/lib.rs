@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+mod abft;
 mod algorithms;
 mod attribution;
 mod bounds;
@@ -41,13 +42,15 @@ mod dist;
 mod error;
 mod planner;
 mod primes;
+mod recovery;
 
+pub use abft::{AbftChecksums, AbftViolation, ABFT_CHECKS, ABFT_DETECTS, PHASE_ABFT};
 pub use algorithms::{
     assemble_c, gemm_1d, gemm_2d, gemm_3d, scalapack_syrk_2d, symm_2d, symm_reference, syr2k_1d,
     syr2k_2d, syrk_1d, syrk_1d_traced, syrk_1d_with, syrk_2d, syrk_2d_limited, syrk_2d_padded,
-    syrk_2d_traced, syrk_3d, syrk_3d_traced, try_syrk_1d, try_syrk_1d_traced, try_syrk_2d,
-    try_syrk_2d_traced, try_syrk_3d, try_syrk_3d_traced, DiagBlock, LocalOutput, OffDiagBlock,
-    SymmRunResult, SyrkRunResult,
+    syrk_2d_traced, syrk_3d, syrk_3d_traced, try_syrk_1d, try_syrk_1d_abft, try_syrk_1d_traced,
+    try_syrk_2d, try_syrk_2d_abft, try_syrk_2d_traced, try_syrk_3d, try_syrk_3d_traced, DiagBlock,
+    LocalOutput, OffDiagBlock, SymmRunResult, SyrkRunResult,
 };
 pub use attribution::{
     attribute_bounds, AttributionReport, TermAttribution, PHASE_ALLGATHER_A, PHASE_LOCAL_GEMM,
@@ -67,3 +70,7 @@ pub use planner::{
     plan_cache_len, predicted_cost, Plan, PlanError, RankedPlan, PLAN_CACHE_CAP,
 };
 pub use primes::{is_prime, largest_triangle_c_at_most, triangle_c_for, valid_grid_sizes};
+pub use recovery::{
+    run_with_recovery, AttemptOutcome, RecoveryAttempt, RecoveryPolicy, RecoveryReport,
+    RECOVERY_ATTEMPTS, RECOVERY_RANKS_LOST,
+};

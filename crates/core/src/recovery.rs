@@ -1,0 +1,421 @@
+//! Shrink-and-replan recovery: crash-surviving SYRK.
+//!
+//! [`run_with_recovery`] drives a fallible SYRK run to completion across
+//! injected rank crashes and detected data corruption:
+//!
+//! 1. **detection + agreement** — when an attempt dies with
+//!    [`MachineError::RankCrashed`], the next attempt opens with a
+//!    *recovery prologue* machine in which the survivors run the
+//!    fault-tolerant agreement collective
+//!    (`Comm::try_agree_on_failures`), charging heartbeat probes under
+//!    `recover:detect` and the suspect exchange under `recover:agree`;
+//! 2. **shrink and replan** — the rank budget drops by one per crash and
+//!    the §5.4 planner picks the best grid for `P′ = P − f`, which may
+//!    cross a Theorem 1 bound case (each attempt records the case via
+//!    [`syrk_lower_bound`]);
+//! 3. **redistribution** — survivors ring-shift their `Partition1D`
+//!    share of the flattened `A` (`≈ n1·n2/P′` words each) under
+//!    `recover:redistribute`, modeling the re-layout of the crashed
+//!    rank's operand data;
+//! 4. **backoff** — each retry sleeps `backoff_base · 2^(retries−1)`
+//!    simulated seconds under `recover:backoff` before re-executing;
+//! 5. **verification** — with [`RecoveryPolicy::verify`] the 1D/2D
+//!    bodies run their per-block ABFT checks in-machine and the final
+//!    assembled `C` is checked against [`AbftChecksums`] computed from
+//!    `A`; a corrupt result retries on the *same* grid (corruption does
+//!    not shrink the world).
+//!
+//! All prologue traffic lands in the `recover:*` phase family, so the
+//! Theorem 1 attribution of the productive phases stays clean: recovery
+//! words sit *outside* the bound, while the replanned run re-enters it
+//! at `P′`. The last prologue's cost report is merged into the
+//! successful run's report (same rank count by construction), so the
+//! returned [`SyrkRunResult`] accounts for the whole recovered run.
+
+use syrk_dense::{Matrix, Partition1D};
+use syrk_machine::{
+    CostModel, CostReport, FaultPlan, Machine, MachineError, RECOVER_BACKOFF_PHASE,
+    RECOVER_REDISTRIBUTE_PHASE,
+};
+use syrk_telemetry::LazyCounter;
+
+use crate::abft::AbftChecksums;
+use crate::algorithms::{
+    try_syrk_1d, try_syrk_1d_abft, try_syrk_2d, try_syrk_2d_abft, try_syrk_3d, SyrkRunResult,
+};
+use crate::bounds::{syrk_lower_bound, BoundCase};
+use crate::error::SyrkError;
+use crate::planner::{plan, Plan, PlanError};
+
+/// Recovery attempts started (i.e. retries after a failed attempt).
+pub static RECOVERY_ATTEMPTS: LazyCounter = LazyCounter::new("syrk_recovery_attempts");
+/// Ranks lost to crashes across all recovered runs.
+pub static RECOVERY_RANKS_LOST: LazyCounter = LazyCounter::new("syrk_recovery_ranks_lost");
+
+/// User tag for the `recover:redistribute` ring shift (kept far below
+/// the collective tag space).
+const TAG_REDISTRIBUTE: u64 = 77;
+
+/// Knobs for [`run_with_recovery`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Total execution attempts allowed (first try included). Must be
+    /// at least 1.
+    pub max_attempts: usize,
+    /// Simulated-clock backoff before the first retry; doubles on each
+    /// further retry.
+    pub backoff_base: f64,
+    /// Run ABFT checksum verification (in-machine per-block checks plus
+    /// a final full-`C` check) and retry on detected corruption.
+    pub verify: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 3,
+            backoff_base: 64.0,
+            verify: true,
+        }
+    }
+}
+
+/// How one execution attempt ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptOutcome {
+    /// The attempt produced a (verified, when enabled) `C`.
+    Completed,
+    /// The attempt died with [`MachineError::RankCrashed`]; the next
+    /// attempt shrinks the world by this rank.
+    Crashed {
+        /// World rank that crashed (within that attempt's machine).
+        rank: usize,
+    },
+    /// ABFT verification rejected the attempt's output; the same grid
+    /// retries.
+    Corrupted {
+        /// Human-readable description of the failed check.
+        detail: String,
+    },
+}
+
+/// One execution attempt of a recovered run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryAttempt {
+    /// Grid the attempt ran on.
+    pub plan: Plan,
+    /// Theorem 1 case at the attempt's rank count — shrinking `P` can
+    /// move the instance across the trichotomy.
+    pub bound_case: BoundCase,
+    /// How the attempt ended.
+    pub outcome: AttemptOutcome,
+}
+
+/// What it took to finish a [`run_with_recovery`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Every attempt in order; the last one is always `Completed`.
+    pub attempts: Vec<RecoveryAttempt>,
+    /// World ranks lost to crashes, in crash order.
+    pub ranks_lost: Vec<usize>,
+    /// Grid the successful attempt ran on.
+    pub final_plan: Plan,
+    /// Whether any recovery was needed (more than one attempt).
+    pub recovered: bool,
+    /// Words charged to `recover:*` phases across *all* prologues (the
+    /// traffic that sits outside the Theorem 1 accounting).
+    pub recovery_words: u64,
+    /// Total simulated backoff clock across all retries.
+    pub backoff_clock: f64,
+}
+
+/// Run SYRK under `initial`, surviving injected crashes by shrinking
+/// and replanning, and detected corruption by retrying, up to
+/// `policy.max_attempts` total attempts.
+///
+/// Returns the (bitwise engine-independent) result of the successful
+/// attempt — with the last recovery prologue's cost merged in — plus a
+/// [`RecoveryReport`]. Unrecoverable failures (deadlock, plan
+/// rejection, exhausted attempts or ranks) surface as [`SyrkError`].
+pub fn run_with_recovery(
+    a: &Matrix<f64>,
+    initial: Plan,
+    model: CostModel,
+    faults: Option<&FaultPlan>,
+    policy: &RecoveryPolicy,
+) -> Result<(SyrkRunResult, RecoveryReport), SyrkError> {
+    assert!(policy.max_attempts >= 1, "need at least one attempt");
+    let (n1, n2) = a.shape();
+    if n1 == 0 || n2 == 0 {
+        return Err(PlanError::EmptyMatrix { n1, n2 }.into());
+    }
+    let checks = policy.verify.then(|| AbftChecksums::new(a));
+
+    let mut cur_plan = initial;
+    let mut p_budget = initial.ranks();
+    let mut faults_now: Option<FaultPlan> = faults.cloned();
+    let mut attempts: Vec<RecoveryAttempt> = Vec::new();
+    let mut ranks_lost: Vec<usize> = Vec::new();
+    let mut recovery_words: u64 = 0;
+    let mut backoff_clock: f64 = 0.0;
+    let mut prologue: Option<CostReport> = None;
+    let mut last_err = SyrkError::Plan(PlanError::ZeroRanks);
+
+    for attempt in 1..=policy.max_attempts {
+        if attempt > 1 {
+            RECOVERY_ATTEMPTS.inc();
+            let backoff = policy.backoff_base * 2f64.powi(attempt as i32 - 2);
+            let pro = recovery_prologue(a, cur_plan, model, &ranks_lost, backoff)?;
+            recovery_words += pro.total_words();
+            backoff_clock += backoff;
+            prologue = Some(pro);
+        }
+        let bound_case = syrk_lower_bound(n1, n2, cur_plan.ranks()).case;
+        match execute(a, cur_plan, model, faults_now.as_ref(), policy.verify) {
+            Ok(mut run) => {
+                if let Some(checks) = &checks {
+                    if let Err(v) = checks.verify(&run.c) {
+                        attempts.push(RecoveryAttempt {
+                            plan: cur_plan,
+                            bound_case,
+                            outcome: AttemptOutcome::Corrupted {
+                                detail: v.to_string(),
+                            },
+                        });
+                        last_err = SyrkError::Machine(MachineError::DataCorruption {
+                            rank: 0,
+                            detail: v.to_string(),
+                        });
+                        continue;
+                    }
+                }
+                if let Some(mut pro) = prologue.take() {
+                    pro.absorb(&run.cost);
+                    run.cost = pro;
+                }
+                attempts.push(RecoveryAttempt {
+                    plan: cur_plan,
+                    bound_case,
+                    outcome: AttemptOutcome::Completed,
+                });
+                let recovered = attempts.len() > 1;
+                return Ok((
+                    run,
+                    RecoveryReport {
+                        attempts,
+                        ranks_lost,
+                        final_plan: cur_plan,
+                        recovered,
+                        recovery_words,
+                        backoff_clock,
+                    },
+                ));
+            }
+            Err(SyrkError::Machine(MachineError::RankCrashed { rank, after_ops })) => {
+                attempts.push(RecoveryAttempt {
+                    plan: cur_plan,
+                    bound_case,
+                    outcome: AttemptOutcome::Crashed { rank },
+                });
+                ranks_lost.push(rank);
+                RECOVERY_RANKS_LOST.inc();
+                last_err = SyrkError::Machine(MachineError::RankCrashed { rank, after_ops });
+                if p_budget <= 1 {
+                    return Err(last_err);
+                }
+                p_budget -= 1;
+                // The shrunken machine renumbers world ranks 0..P′, so
+                // the crashed rank's pending faults must not re-fire
+                // against its successor.
+                faults_now = faults_now.map(|f| f.without_crashed(rank));
+                cur_plan = plan(n1, n2, p_budget).plan;
+            }
+            Err(SyrkError::Machine(MachineError::DataCorruption { rank, detail })) => {
+                attempts.push(RecoveryAttempt {
+                    plan: cur_plan,
+                    bound_case,
+                    outcome: AttemptOutcome::Corrupted {
+                        detail: detail.clone(),
+                    },
+                });
+                // Corruption does not shrink the world: same grid retries.
+                last_err = SyrkError::Machine(MachineError::DataCorruption { rank, detail });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err)
+}
+
+/// Dispatch one attempt to the plan's algorithm, with or without
+/// in-machine ABFT block checks (the 3D body relies on the final
+/// full-`C` verification only).
+fn execute(
+    a: &Matrix<f64>,
+    plan: Plan,
+    model: CostModel,
+    faults: Option<&FaultPlan>,
+    verify: bool,
+) -> Result<SyrkRunResult, SyrkError> {
+    match plan {
+        Plan::OneD { p } if verify => try_syrk_1d_abft(a, p, model, faults),
+        Plan::OneD { p } => try_syrk_1d(a, p, model, faults),
+        Plan::TwoD { c } if verify => try_syrk_2d_abft(a, c, model, faults),
+        Plan::TwoD { c } => try_syrk_2d(a, c, model, faults),
+        Plan::ThreeD { c, p2 } => try_syrk_3d(a, c, p2, model, faults),
+    }
+}
+
+/// The detect → agree → redistribute → backoff prologue, run as its own
+/// fault-free machine at the *replanned* rank count so its cost report
+/// merges index-wise into the subsequent attempt's report.
+fn recovery_prologue(
+    a: &Matrix<f64>,
+    plan: Plan,
+    model: CostModel,
+    lost: &[usize],
+    backoff: f64,
+) -> Result<CostReport, SyrkError> {
+    let (n1, n2) = a.shape();
+    let p = plan.ranks();
+    let shares = Partition1D::new(n1 * n2, p);
+    let lost: Vec<usize> = lost.to_vec();
+    let machine = Machine::new(p).with_model(model);
+    let out = machine.try_run(|comm| {
+        let agreed = comm.try_agree_on_failures(&lost)?;
+        debug_assert!(
+            lost.iter().all(|r| agreed.contains(r)),
+            "agreement must contain every locally known failure"
+        );
+        if !lost.is_empty() && comm.size() > 1 {
+            // Ring-shift each survivor's share of the flattened A: the
+            // crashed rank's operand block has to come from somewhere,
+            // and a single shift is the cheapest all-rank re-layout
+            // (every rank sends/receives one conformal share).
+            let _span = comm.phase(RECOVER_REDISTRIBUTE_PHASE);
+            let me = comm.rank();
+            let next = (me + 1) % comm.size();
+            let prev = (me + comm.size() - 1) % comm.size();
+            let share = a.as_slice()[shares.range(me)].to_vec();
+            let _incoming: Vec<f64> = comm.try_exchange(next, share, prev, TAG_REDISTRIBUTE)?;
+        }
+        let _span = comm.phase(RECOVER_BACKOFF_PHASE);
+        comm.sleep(backoff);
+        Ok(())
+    })?;
+    Ok(out.cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syrk_dense::{max_abs_diff, seeded_matrix, syrk_full_reference};
+    use syrk_machine::{RECOVER_AGREE_PHASE, RECOVER_DETECT_PHASE};
+
+    fn model() -> CostModel {
+        CostModel::bandwidth_only()
+    }
+
+    #[test]
+    fn clean_run_needs_no_recovery() {
+        let a = seeded_matrix::<f64>(12, 8, 5);
+        let (run, report) = run_with_recovery(
+            &a,
+            Plan::OneD { p: 4 },
+            model(),
+            None,
+            &RecoveryPolicy::default(),
+        )
+        .expect("clean run");
+        assert!(!report.recovered);
+        assert_eq!(report.attempts.len(), 1);
+        assert_eq!(report.final_plan, Plan::OneD { p: 4 });
+        assert_eq!(report.recovery_words, 0);
+        assert!(max_abs_diff(&run.c, &syrk_full_reference(&a)) < 1e-10);
+    }
+
+    #[test]
+    fn crash_shrinks_replans_and_completes() {
+        let a = seeded_matrix::<f64>(16, 24, 7);
+        let faults = FaultPlan::seeded(11).crash_rank(2, 1);
+        let policy = RecoveryPolicy::default();
+        let (run, report) =
+            run_with_recovery(&a, Plan::OneD { p: 5 }, model(), Some(&faults), &policy)
+                .expect("recovered run");
+        assert!(report.recovered);
+        assert_eq!(report.ranks_lost, vec![2]);
+        assert_eq!(report.attempts.len(), 2);
+        assert!(matches!(
+            report.attempts[0].outcome,
+            AttemptOutcome::Crashed { rank: 2 }
+        ));
+        assert_eq!(report.attempts[1].outcome, AttemptOutcome::Completed);
+        assert!(report.final_plan.ranks() <= 4);
+        assert!(report.recovery_words > 0);
+        assert_eq!(report.backoff_clock, policy.backoff_base);
+        assert!(max_abs_diff(&run.c, &syrk_full_reference(&a)) < 1e-10);
+        // The merged cost report carries the recover:* phases.
+        let p = report.final_plan.ranks();
+        assert!((0..p).any(|r| run.cost.phase_cost(r, RECOVER_DETECT_PHASE).is_some()));
+        assert!((0..p).any(|r| run.cost.phase_cost(r, RECOVER_AGREE_PHASE).is_some()));
+        assert!((0..p).any(|r| run.cost.phase_cost(r, RECOVER_REDISTRIBUTE_PHASE).is_some()));
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_the_last_crash() {
+        let a = seeded_matrix::<f64>(10, 12, 3);
+        let faults = FaultPlan::seeded(4)
+            .crash_rank(0, 1)
+            .crash_rank(1, 1)
+            .crash_rank(2, 1);
+        let policy = RecoveryPolicy {
+            max_attempts: 2,
+            ..RecoveryPolicy::default()
+        };
+        let err = run_with_recovery(&a, Plan::OneD { p: 4 }, model(), Some(&faults), &policy)
+            .unwrap_err();
+        assert!(
+            matches!(err, SyrkError::Machine(MachineError::RankCrashed { .. })),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_per_retry() {
+        let a = seeded_matrix::<f64>(10, 12, 3);
+        let faults = FaultPlan::seeded(4).crash_rank(0, 1).crash_rank(1, 1);
+        let policy = RecoveryPolicy {
+            max_attempts: 4,
+            backoff_base: 8.0,
+            verify: true,
+        };
+        let (_, report) =
+            run_with_recovery(&a, Plan::OneD { p: 4 }, model(), Some(&faults), &policy)
+                .expect("recovers after two crashes");
+        assert_eq!(report.ranks_lost, vec![0, 1]);
+        // 8 + 16: two retries with doubling backoff.
+        assert_eq!(report.backoff_clock, 24.0);
+    }
+
+    #[test]
+    fn attempts_are_metered() {
+        use syrk_telemetry::registry;
+        let before = registry::snapshot()
+            .counter("syrk_recovery_attempts")
+            .unwrap_or(0);
+        let a = seeded_matrix::<f64>(8, 8, 1);
+        let faults = FaultPlan::seeded(2).crash_rank(1, 1);
+        run_with_recovery(
+            &a,
+            Plan::OneD { p: 3 },
+            model(),
+            Some(&faults),
+            &RecoveryPolicy::default(),
+        )
+        .expect("recovers");
+        let after = registry::snapshot()
+            .counter("syrk_recovery_attempts")
+            .unwrap();
+        assert!(after > before);
+    }
+}

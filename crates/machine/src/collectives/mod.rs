@@ -11,6 +11,7 @@
 //! discussed in §6 (Bruck all-to-all, binomial trees) so the trade-off can
 //! be measured (experiment E12).
 
+mod agree;
 mod allgather;
 mod allreduce;
 mod alltoall;
@@ -46,3 +47,4 @@ pub(crate) const TAG_REDUCE: u64 = COLL_TAG + 5;
 pub(crate) const TAG_GATHER: u64 = COLL_TAG + 6;
 pub(crate) const TAG_SCATTER: u64 = COLL_TAG + 7;
 pub(crate) const TAG_BARRIER: u64 = COLL_TAG + 8;
+pub(crate) const TAG_AGREE: u64 = COLL_TAG + 9;

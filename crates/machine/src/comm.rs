@@ -38,6 +38,27 @@ pub const RETRY_CORRUPT_PHASE: &str = "retry:corrupt";
 /// Clock lost to an injected rank stall.
 pub const RETRY_STALL_PHASE: &str = "retry:stall";
 
+/// Phase names under which crash-recovery costs are recorded. Like the
+/// `retry:*` family they are distinct from every algorithm phase, so
+/// `recover:*` rows in a [`CostReport`](crate::CostReport) isolate the
+/// price of surviving a rank loss from the Theorem 1 accounting (the
+/// *replanned* run re-enters the bounds at P′; recovery traffic itself
+/// sits outside them).
+///
+/// Heartbeat probes and the timeout clock spent declaring a rank dead.
+pub const RECOVER_DETECT_PHASE: &str = "recover:detect";
+/// Survivor-to-survivor exchange of suspect lists until agreement.
+pub const RECOVER_AGREE_PHASE: &str = "recover:agree";
+/// Re-shipping surviving A blocks into the replanned grid's layout.
+pub const RECOVER_REDISTRIBUTE_PHASE: &str = "recover:redistribute";
+/// Exponential-backoff clock charged before a re-execution attempt.
+pub const RECOVER_BACKOFF_PHASE: &str = "recover:backoff";
+
+/// Model-time a survivor waits on a silent link before declaring the
+/// peer dead, in units of `CostModel::message(1)` (one α + β): the
+/// detector sends this many unanswered heartbeat probes per suspect.
+pub const HEARTBEAT_TIMEOUT_PROBES: u64 = 4;
+
 /// Per-rank incoming message queue with out-of-order matching.
 ///
 /// Channels deliver envelopes in send order per link; a receive for a
@@ -144,6 +165,11 @@ pub(crate) struct World {
     pub watchdog: Duration,
     /// Per-rank communication-operation counters (for crash/stall faults).
     pub ops: Vec<AtomicU64>,
+    /// World ranks killed by injected crash faults, in the order the
+    /// crashes fired. Survivors read this through
+    /// [`Comm::try_agree_on_failures`] to learn *who* died without
+    /// touching the (aborted) network.
+    pub crashed: Mutex<Vec<usize>>,
     /// The installed fault plan, if any.
     pub faults: Option<FaultPlan>,
     /// Per-rank event logs when tracing is enabled.
@@ -305,12 +331,12 @@ impl Comm {
         f(&mut guard)
     }
 
-    fn with_cost<R>(&self, f: impl FnOnce(&mut RankCost, &CostModel) -> R) -> R {
+    pub(crate) fn with_cost<R>(&self, f: impl FnOnce(&mut RankCost, &CostModel) -> R) -> R {
         let model = self.world.model;
         self.with_ledger(|l| l.apply(&model, f))
     }
 
-    fn trace(&self, kind: EventKind, peer: usize, amount: u64) {
+    pub(crate) fn trace(&self, kind: EventKind, peer: usize, amount: u64) {
         if let Some(traces) = &self.world.traces {
             let (clock, phase) = self.with_ledger(|l| (l.total.clock, l.active_phase()));
             traces[self.world_rank()].lock().push(Event {
@@ -332,6 +358,36 @@ impl Comm {
     /// Record `w` words of transient buffer space (memory footprint probe).
     pub fn note_buffer(&self, w: usize) {
         self.with_ledger(|l| l.note_buffer(w));
+    }
+
+    /// Charge `clock` model-time units of pure waiting to this rank,
+    /// attributed to the current phase. No words, messages, or flops move
+    /// — this is how recovery drivers pay for backoff delays and timeout
+    /// windows on the simulated clock.
+    pub fn sleep(&self, clock: f64) {
+        assert!(clock >= 0.0, "sleep clock must be non-negative");
+        self.with_cost(|c, _| c.clock += clock);
+    }
+
+    /// World ranks of this communicator's group that the fault plan has
+    /// crashed so far, as *group* ranks, sorted. Read from the world's
+    /// crash registry — the simulation's stand-in for the out-of-band
+    /// failure detector a real runtime (e.g. ULFM) queries.
+    pub(crate) fn crashed_in_group(&self) -> Vec<usize> {
+        let crashed = self.world.crashed.lock().clone();
+        let mut group_ranks: Vec<usize> = crashed
+            .iter()
+            .filter_map(|w| self.group.iter().position(|g| g == w))
+            .collect();
+        group_ranks.sort_unstable();
+        group_ranks.dedup();
+        group_ranks
+    }
+
+    /// Whether the world has aborted (some rank failed): survivors must
+    /// not touch the network once this is set.
+    pub(crate) fn world_aborted(&self) -> bool {
+        self.world.aborted.load(Ordering::SeqCst)
     }
 
     /// Current cost counters of this rank (snapshot).
@@ -420,6 +476,7 @@ impl Comm {
         }
         if plan.crash_at(me, op) {
             crate::fault::note_crash();
+            self.world.crashed.lock().push(me);
             let e = MachineError::RankCrashed {
                 rank: me,
                 after_ops: op - 1,
@@ -438,11 +495,20 @@ impl Comm {
             ev.deliver(dst_world, env);
             return Ok(());
         }
-        self.world.senders[dst_world]
-            .send(env)
-            .map_err(|_| MachineError::PeerFailed {
+        self.world.senders[dst_world].send(env).map_err(|_| {
+            // The peer's inbox closed because its thread exited. Like the
+            // recv path, a crash is not anonymized into `PeerFailed`:
+            // survivors need the crashed rank's identity to agree on
+            // failures and shrink the world around it.
+            match self.world.first_error_or(MachineError::PeerFailed {
                 rank: self.world_rank(),
-            })
+            }) {
+                e @ MachineError::RankCrashed { .. } => e,
+                _ => MachineError::PeerFailed {
+                    rank: self.world_rank(),
+                },
+            }
+        })
     }
 
     /// Push a fault-injected extra copy (a garbled duplicate or
@@ -823,6 +889,10 @@ impl Comm {
     fn recv_err_to_machine(&self, e: RecvErr, src_world: usize, tag: (u64, u64)) -> MachineError {
         let me = self.world_rank();
         match e {
+            // A crash is not anonymized into `PeerFailed`: survivors need
+            // the crashed rank's identity to agree on failures and shrink
+            // the world around it, so the run's first error propagates.
+            RecvErr::Aborted(e @ MachineError::RankCrashed { .. }) => e,
             RecvErr::PeerPanicked | RecvErr::Aborted(_) => MachineError::PeerFailed { rank: me },
             RecvErr::Timeout { .. } => MachineError::RecvTimeout {
                 rank: me,

@@ -137,6 +137,19 @@ impl RankCost {
         self.peak_buffer_words = self.peak_buffer_words.max(w as u64);
     }
 
+    /// Fold another rank's counters into this one: monotone counters and
+    /// the clock add (the other run happened sequentially on the same
+    /// rank), peak buffer takes the high-water mark.
+    pub fn absorb(&mut self, other: &RankCost) {
+        self.msgs_sent += other.msgs_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.words_sent += other.words_sent;
+        self.words_recv += other.words_recv;
+        self.flops += other.flops;
+        self.clock += other.clock;
+        self.peak_buffer_words = self.peak_buffer_words.max(other.peak_buffer_words);
+    }
+
     /// The clock as a totally ordered integer sort key: `f64::to_bits`
     /// preserves ordering for the non-negative finite clocks the cost
     /// model produces. The event engine's ready heap is keyed on this.
@@ -386,6 +399,31 @@ impl CostReport {
             .iter()
             .find(|p| p.name == name)
             .map(|p| &p.cost)
+    }
+
+    /// Fold another report over the *same number of ranks* into this one
+    /// (panics otherwise): rank counters and clocks add, peak buffers
+    /// take the max, and phases merge by name — so summing a rank's
+    /// phases still reconstructs its totals exactly. Recovery drivers
+    /// use this to prepend a recovery prologue's `recover:*` charges to
+    /// the successful re-execution's report.
+    pub fn absorb(&mut self, other: &CostReport) {
+        assert_eq!(
+            self.ranks.len(),
+            other.ranks.len(),
+            "absorb: reports cover different rank counts"
+        );
+        for (mine, theirs) in self.ranks.iter_mut().zip(&other.ranks) {
+            mine.absorb(theirs);
+        }
+        for (mine, theirs) in self.phases.iter_mut().zip(&other.phases) {
+            for pc in theirs {
+                match mine.iter_mut().find(|p| p.name == pc.name) {
+                    Some(slot) => slot.cost.absorb(&pc.cost),
+                    None => mine.push(pc.clone()),
+                }
+            }
+        }
     }
 
     /// `max_p words_sent(p)` restricted to one phase — the per-term analog

@@ -125,6 +125,7 @@ fn error_kind(err: &MachineError) -> &'static str {
         MachineError::RankPanicked { .. } => "rank_panicked",
         MachineError::PeerFailed { .. } => "peer_failed",
         MachineError::RecvTimeout { .. } => "recv_timeout",
+        MachineError::DataCorruption { .. } => "data_corruption",
         MachineError::TypeMismatch { .. } => "type_mismatch",
     }
 }

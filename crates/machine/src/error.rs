@@ -105,6 +105,16 @@ pub enum MachineError {
         /// `(communicator id, user tag)` being matched.
         tag: (u64, u64),
     },
+    /// A rank's output failed an algorithm-level checksum verification
+    /// (ABFT): the run produced data, but the data is wrong. Unlike a
+    /// crash this does not shrink the world — the same grid can retry.
+    DataCorruption {
+        /// World rank whose output failed verification.
+        rank: usize,
+        /// Human-readable description of the failed check (which block,
+        /// which row, and the localized column when identifiable).
+        detail: String,
+    },
     /// The matched message's payload was not of the requested type.
     TypeMismatch {
         /// Group rank performing the receive.
@@ -131,6 +141,12 @@ impl fmt::Display for MachineError {
             }
             MachineError::PeerFailed { rank } => {
                 write!(f, "rank {rank}: aborted because another rank failed first")
+            }
+            MachineError::DataCorruption { rank, detail } => {
+                write!(
+                    f,
+                    "rank {rank}: output failed checksum verification: {detail}"
+                )
             }
             MachineError::RecvTimeout { rank, src, tag } => {
                 write!(f, "rank {rank}: recv from {src} tag {tag:?} timed out")

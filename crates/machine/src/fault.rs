@@ -134,7 +134,7 @@ pub struct FaultPlan {
     corrupt_p: f64,
     max_retries: u32,
     stall: Option<(usize, u64, f64)>,
-    crash: Option<(usize, u64)>,
+    crash: Vec<(usize, u64)>,
 }
 
 impl FaultPlan {
@@ -149,7 +149,7 @@ impl FaultPlan {
             corrupt_p: 0.0,
             max_retries: 8,
             stall: None,
-            crash: None,
+            crash: Vec::new(),
         }
     }
 
@@ -201,9 +201,21 @@ impl FaultPlan {
     /// Crash world rank `rank` just before its `at_op`-th communication
     /// operation (1-based). The run aborts with
     /// [`MachineError::RankCrashed`](crate::MachineError::RankCrashed).
+    /// May be called repeatedly to schedule crashes on several ranks;
+    /// per run, whichever scheduled crash fires first wins.
     pub fn crash_rank(mut self, rank: usize, at_op: u64) -> Self {
-        self.crash = Some((rank, at_op));
+        self.crash.push((rank, at_op));
         self
+    }
+
+    /// A copy of this plan with every crash scheduled for `rank`
+    /// removed. Recovery drivers use this between attempts: the rank
+    /// that crashed is gone from the shrunken world, so its fault must
+    /// not re-fire against whichever survivor inherits the rank id.
+    pub fn without_crashed(&self, rank: usize) -> Self {
+        let mut plan = self.clone();
+        plan.crash.retain(|&(r, _)| r != rank);
+        plan
     }
 
     /// The plan's seed.
@@ -220,7 +232,7 @@ impl FaultPlan {
     /// Whether the plan targets whole ranks (stall/crash) — when false,
     /// the per-operation counters are not consulted.
     pub(crate) fn perturbs_ranks(&self) -> bool {
-        self.stall.is_some() || self.crash.is_some()
+        self.stall.is_some() || !self.crash.is_empty()
     }
 
     /// Decide the faults for message `seq` on the `src → dst` link.
@@ -254,7 +266,7 @@ impl FaultPlan {
 
     /// Whether `rank` crashes at its `op`-th communication operation.
     pub(crate) fn crash_at(&self, rank: usize, op: u64) -> bool {
-        matches!(self.crash, Some((r, at)) if r == rank && at == op)
+        self.crash.iter().any(|&(r, at)| r == rank && at == op)
     }
 }
 
@@ -297,6 +309,18 @@ mod tests {
         assert!(plan.crash_at(1, 4));
         assert!(!plan.crash_at(1, 3));
         assert!(!plan.crash_at(0, 4));
+    }
+
+    #[test]
+    fn crashes_accumulate_and_unschedule_per_rank() {
+        let plan = FaultPlan::seeded(9).crash_rank(1, 4).crash_rank(2, 7);
+        assert!(plan.crash_at(1, 4));
+        assert!(plan.crash_at(2, 7));
+        let shrunk = plan.without_crashed(1);
+        assert!(!shrunk.crash_at(1, 4));
+        assert!(shrunk.crash_at(2, 7));
+        assert!(shrunk.perturbs_ranks());
+        assert!(!shrunk.without_crashed(2).perturbs_ranks());
     }
 
     #[test]

@@ -63,7 +63,9 @@ pub use syrk_telemetry as telemetry;
 
 pub use collectives::{CollectiveAlg, ReduceScatterAlg};
 pub use comm::{
-    Comm, PhaseScope, RETRY_CORRUPT_PHASE, RETRY_DROP_PHASE, RETRY_DUP_PHASE, RETRY_STALL_PHASE,
+    Comm, PhaseScope, HEARTBEAT_TIMEOUT_PROBES, RECOVER_AGREE_PHASE, RECOVER_BACKOFF_PHASE,
+    RECOVER_DETECT_PHASE, RECOVER_REDISTRIBUTE_PHASE, RETRY_CORRUPT_PHASE, RETRY_DROP_PHASE,
+    RETRY_DUP_PHASE, RETRY_STALL_PHASE,
 };
 pub use cost::{CostModel, CostReport, PhaseCost, PhaseRow, PhaseTable, RankCost, UNTAGGED_PHASE};
 pub use dump::{

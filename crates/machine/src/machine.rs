@@ -370,6 +370,7 @@ impl Machine {
             progress: AtomicU64::new(0),
             watchdog: self.watchdog,
             ops: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            crashed: Mutex::new(Vec::new()),
             faults: self.faults.clone(),
             traces: self
                 .tracing

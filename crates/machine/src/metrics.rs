@@ -58,6 +58,8 @@ pub(crate) static REDUCE_SCATTER: CollMetrics = CollMetrics::new(
     "syrk_coll_reduce_scatter_calls",
     "syrk_coll_reduce_scatter_payload_words",
 );
+pub(crate) static AGREE: CollMetrics =
+    CollMetrics::new("syrk_coll_agree_calls", "syrk_coll_agree_payload_words");
 
 #[cfg(test)]
 mod tests {

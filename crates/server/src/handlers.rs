@@ -15,14 +15,16 @@ use std::time::Instant;
 use syrk_core::{
     alg1d_predicted_cost, alg2d_tight_cost, alg3d_a_term, alg3d_c_term, alg3d_leading_a_term,
     alg3d_leading_c_term, candidate_plans, gemm_lower_bound, plan, predicted_cost,
-    syrk_lower_bound, thm1_case1_c_term, thm1_case2_a_term, try_syrk_1d, try_syrk_2d, try_syrk_3d,
-    Plan, RankedPlan, SyrkBound, SyrkRunResult,
+    run_with_recovery, syrk_lower_bound, thm1_case1_c_term, thm1_case2_a_term, try_syrk_1d,
+    try_syrk_2d, try_syrk_3d, AttemptOutcome, Plan, RankedPlan, RecoveryPolicy, RecoveryReport,
+    SyrkBound, SyrkRunResult,
 };
 use syrk_dense::seeded_matrix;
-use syrk_machine::{scoped_failure_dump_path, CostModel};
+use syrk_machine::{scoped_failure_dump_path, CostModel, FaultPlan};
 use syrk_telemetry::registry;
 
-use crate::http::{Request, Response};
+use crate::http::{escape, Request, Response};
+use crate::json::{self, Json};
 use crate::state::{self, AdmitError, SharedState};
 
 /// Dispatch one request. Also the place where per-endpoint counters and
@@ -101,6 +103,50 @@ fn optional_u64(req: &Request, name: &str, default: u64) -> Result<u64, Response
             Response::json_error(
                 400,
                 &format!("query parameter {name:?} must be an integer, got {raw:?}"),
+            )
+        }),
+    }
+}
+
+/// Parse the optional JSON request body. An empty (or all-whitespace)
+/// body is `None`; a malformed one is the 400 the client is owed.
+fn parse_body(req: &Request) -> Result<Option<Json>, Response> {
+    if req.body.is_empty() {
+        return Ok(None);
+    }
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| Response::json_error(400, "request body is not UTF-8"))?;
+    if text.trim().is_empty() {
+        return Ok(None);
+    }
+    json::parse(text)
+        .map(Some)
+        .map_err(|e| Response::json_error(400, &format!("malformed JSON body: {e}")))
+}
+
+/// An optional non-negative integer for `/run`, read from the body
+/// member `section.key` when present, else the query parameter `qname`.
+fn body_or_query_u64(
+    body: Option<&Json>,
+    section: &str,
+    key: &str,
+    req: &Request,
+    qname: &str,
+) -> Result<Option<u64>, Response> {
+    if let Some(v) = body.and_then(|b| b.get(section)).and_then(|s| s.get(key)) {
+        return v.as_u64().map(Some).ok_or_else(|| {
+            Response::json_error(
+                400,
+                &format!("body field {section}.{key} must be a non-negative integer"),
+            )
+        });
+    }
+    match req.query_param(qname) {
+        None => Ok(None),
+        Some(raw) => raw.parse::<u64>().map(Some).map_err(|_| {
+            Response::json_error(
+                400,
+                &format!("query parameter {qname:?} must be a non-negative integer, got {raw:?}"),
             )
         }),
     }
@@ -328,6 +374,61 @@ fn handle_run(state: &Arc<SharedState>, req: &Request) -> Response {
         Ok(v) => v,
         Err(resp) => return resp,
     };
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    for section in ["recovery", "faults"] {
+        if let Some(v) = body.as_ref().and_then(|b| b.get(section)) {
+            if !matches!(v, Json::Obj(_)) {
+                return Response::json_error(
+                    400,
+                    &format!("body field {section:?} must be an object"),
+                );
+            }
+        }
+    }
+    // Fault injection: a deterministic crash of one rank, from the body
+    // (`"faults": {"seed": S, "crash_rank": R, "crash_op": OP}`) or the
+    // equivalent query parameters.
+    let crash_rank =
+        match body_or_query_u64(body.as_ref(), "faults", "crash_rank", req, "crash_rank") {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+    let crash_op = match body_or_query_u64(body.as_ref(), "faults", "crash_op", req, "crash_op") {
+        Ok(v) => v.unwrap_or(1),
+        Err(resp) => return resp,
+    };
+    let fault_seed = match body_or_query_u64(body.as_ref(), "faults", "seed", req, "fault_seed") {
+        Ok(v) => v.unwrap_or(0),
+        Err(resp) => return resp,
+    };
+    let faults: Option<FaultPlan> =
+        crash_rank.map(|r| FaultPlan::seeded(fault_seed).crash_rank(r as usize, crash_op));
+    // Recovery: `"recovery": {"max_attempts": N}` (or ?max_attempts=N)
+    // routes the run through the shrink-and-replan driver; an injected
+    // crash without it gets the driver's default budget, so faulted runs
+    // recover instead of 500ing.
+    let max_attempts = match body_or_query_u64(
+        body.as_ref(),
+        "recovery",
+        "max_attempts",
+        req,
+        "max_attempts",
+    ) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if max_attempts == Some(0) {
+        return Response::json_error(400, "recovery.max_attempts must be at least 1");
+    }
+    let policy = max_attempts
+        .map(|n| RecoveryPolicy {
+            max_attempts: n as usize,
+            ..RecoveryPolicy::default()
+        })
+        .or_else(|| faults.is_some().then(RecoveryPolicy::default));
     let alg = req.query_param("alg").unwrap_or("auto");
     let chosen: Plan = match alg {
         "1d" => match required_usize(req, "p") {
@@ -385,6 +486,15 @@ fn handle_run(state: &Arc<SharedState>, req: &Request) -> Response {
             state::RUN_REJECTED.inc();
             return Response::json_error(503, "server is draining; not accepting new runs");
         }
+        Err(AdmitError::QueueTimeout) => {
+            state::RUN_REJECTED.inc();
+            let retry = state.config.queue_wait.as_secs().max(1);
+            return Response::json_error(
+                503,
+                "timed out waiting for a run slot; retry after the indicated delay",
+            )
+            .with_header("Retry-After", retry.to_string());
+        }
     };
 
     // Per-run failure-dump destination, if the server was configured
@@ -396,20 +506,82 @@ fn handle_run(state: &Arc<SharedState>, req: &Request) -> Response {
 
     let a = seeded_matrix::<f64>(n1, n2, seed);
     let model = CostModel::bandwidth_only();
+    if let Some(policy) = policy {
+        let result = run_with_recovery(&a, chosen, model, faults.as_ref(), &policy);
+        drop(permit);
+        return match result {
+            Ok((run, report)) => Response::json(
+                200,
+                render_run(n1, n2, seed, report.final_plan, &run, Some(&report)),
+            ),
+            Err(e) => Response::json_error(
+                422,
+                &format!("run failed after {} attempt(s): {e}", policy.max_attempts),
+            ),
+        };
+    }
     let result = match chosen {
-        Plan::OneD { p } => try_syrk_1d(&a, p, model, None),
-        Plan::TwoD { c } => try_syrk_2d(&a, c, model, None),
-        Plan::ThreeD { c, p2 } => try_syrk_3d(&a, c, p2, model, None),
+        Plan::OneD { p } => try_syrk_1d(&a, p, model, faults.as_ref()),
+        Plan::TwoD { c } => try_syrk_2d(&a, c, model, faults.as_ref()),
+        Plan::ThreeD { c, p2 } => try_syrk_3d(&a, c, p2, model, faults.as_ref()),
     };
     drop(permit);
 
     match result {
-        Ok(run) => Response::json(200, render_run(n1, n2, seed, chosen, &run)),
+        Ok(run) => Response::json(200, render_run(n1, n2, seed, chosen, &run, None)),
         Err(e) => Response::json_error(422, &format!("run failed: {e}")),
     }
 }
 
-fn render_run(n1: usize, n2: usize, seed: u64, plan: Plan, run: &SyrkRunResult) -> String {
+fn json_outcome(outcome: &AttemptOutcome) -> String {
+    match outcome {
+        AttemptOutcome::Completed => "{\"kind\": \"completed\"}".to_string(),
+        AttemptOutcome::Crashed { rank } => {
+            format!("{{\"kind\": \"crashed\", \"rank\": {rank}}}")
+        }
+        AttemptOutcome::Corrupted { detail } => {
+            format!(
+                "{{\"kind\": \"corrupted\", \"detail\": \"{}\"}}",
+                escape(detail)
+            )
+        }
+    }
+}
+
+fn json_recovery(report: &RecoveryReport) -> String {
+    let attempts: Vec<String> = report
+        .attempts
+        .iter()
+        .map(|a| {
+            format!(
+                "{{\"plan\": {}, \"bound_case\": \"{:?}\", \"outcome\": {}}}",
+                json_plan(a.plan),
+                a.bound_case,
+                json_outcome(&a.outcome)
+            )
+        })
+        .collect();
+    let lost: Vec<String> = report.ranks_lost.iter().map(|r| r.to_string()).collect();
+    format!(
+        "{{\"recovered\": {}, \"attempts\": [{}], \"ranks_lost\": [{}], \
+         \"final_plan\": {}, \"recovery_words\": {}, \"backoff_clock\": {}}}",
+        report.recovered,
+        attempts.join(", "),
+        lost.join(", "),
+        json_plan(report.final_plan),
+        report.recovery_words,
+        json_f64(report.backoff_clock)
+    )
+}
+
+fn render_run(
+    n1: usize,
+    n2: usize,
+    seed: u64,
+    plan: Plan,
+    run: &SyrkRunResult,
+    recovery: Option<&RecoveryReport>,
+) -> String {
     let bound = syrk_lower_bound(n1, n2, plan.ranks());
     let measured = run.cost.max_words_sent();
     let ratio = if bound.communicated() > 0.0 {
@@ -420,6 +592,9 @@ fn render_run(n1: usize, n2: usize, seed: u64, plan: Plan, run: &SyrkRunResult) 
     // A small output fingerprint so clients can check determinism
     // without shipping the n1×n1 matrix over the wire.
     let checksum: f64 = run.c.as_slice().iter().sum();
+    let recovery_frag = recovery
+        .map(|r| format!(", \"recovery\": {}", json_recovery(r)))
+        .unwrap_or_default();
     let mut body = String::with_capacity(512);
     let _ = writeln!(
         body,
@@ -427,7 +602,7 @@ fn render_run(n1: usize, n2: usize, seed: u64, plan: Plan, run: &SyrkRunResult) 
          \"cost\": {{\"max_words_sent\": {measured}, \"total_words\": {}, \
          \"max_flops\": {}, \"elapsed\": {}}}, \
          \"bound\": {}, \"measured_over_bound\": {}, \"terms\": {}, \
-         \"c_checksum\": {}}}",
+         \"c_checksum\": {}{recovery_frag}}}",
         json_plan(plan),
         run.cost.total_words(),
         run.cost.max_flops(),

@@ -206,7 +206,8 @@ fn percent_decode(s: &str) -> Option<String> {
     String::from_utf8(out).ok()
 }
 
-/// An HTTP response ready to serialize: status, content type, body.
+/// An HTTP response ready to serialize: status, content type, body,
+/// plus any extra headers (e.g. `Retry-After` on a 503).
 #[derive(Debug)]
 pub struct Response {
     /// Status code (200, 400, …).
@@ -215,6 +216,8 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: String,
+    /// Extra headers appended after the standard set.
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -224,6 +227,7 @@ impl Response {
             status,
             content_type: "application/json",
             body,
+            headers: Vec::new(),
         }
     }
 
@@ -238,6 +242,7 @@ impl Response {
             status,
             content_type: "text/html; charset=utf-8",
             body,
+            headers: Vec::new(),
         }
     }
 
@@ -247,20 +252,32 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body,
+            headers: Vec::new(),
         }
+    }
+
+    /// Append an extra response header (builder-style).
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.headers.push((name, value));
+        self
     }
 
     /// Serialize status line, headers, and body onto the socket in a
     /// single write (two writes would hand Nagle's algorithm a stalled
     /// small segment per response).
     pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        use std::fmt::Write as _;
         let mut wire = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len()
         );
+        for (name, value) in &self.headers {
+            let _ = write!(wire, "{name}: {value}\r\n");
+        }
+        wire.push_str("\r\n");
         wire.push_str(&self.body);
         stream.write_all(wire.as_bytes())?;
         stream.flush()

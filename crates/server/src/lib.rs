@@ -31,6 +31,7 @@
 
 mod handlers;
 pub mod http;
+pub mod json;
 pub mod state;
 
 use std::collections::VecDeque;

@@ -11,7 +11,7 @@ use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use syrk_telemetry::{LazyCounter, LazyGauge, LazyHistogram};
 
@@ -43,6 +43,8 @@ pub static INFLIGHT: LazyGauge = LazyGauge::new("syrk_server_inflight");
 pub static RUNS_ACTIVE: LazyGauge = LazyGauge::new("syrk_server_runs_active");
 /// Simulated runs waiting in the admission queue.
 pub static RUN_QUEUE_DEPTH: LazyGauge = LazyGauge::new("syrk_server_run_queue_depth");
+/// Queued runs that hit the queue-wait deadline and were bounced (503).
+pub static RUN_QUEUE_TIMEOUTS: LazyCounter = LazyCounter::new("syrk_server_run_queue_timeouts");
 
 /// Tunables for one server instance. `Default` is sized so that plan
 /// queries can never be starved: `workers` strictly exceeds
@@ -56,6 +58,9 @@ pub struct ServerConfig {
     pub max_concurrent_runs: usize,
     /// Runs allowed to wait for a slot before admission rejects (429).
     pub max_queued_runs: usize,
+    /// How long a queued run may wait for a slot before it is bounced
+    /// with a 503 + `Retry-After` instead of pinning its HTTP worker.
+    pub queue_wait: Duration,
     /// Accepted connections allowed to queue for a worker before the
     /// accept loop sheds load with an immediate 503.
     pub max_pending_connections: usize,
@@ -78,6 +83,7 @@ impl Default for ServerConfig {
             workers: 16,
             max_concurrent_runs: 2,
             max_queued_runs: 4,
+            queue_wait: Duration::from_secs(3),
             max_pending_connections: 1024,
             max_run_cells: 1 << 20,
             max_run_ranks: 4096,
@@ -94,6 +100,9 @@ pub enum AdmitError {
     QueueFull,
     /// The server is shutting down; queued runs are bounced → 503.
     Draining,
+    /// A queued run waited out the configured deadline without getting a
+    /// slot → 503 with `Retry-After`.
+    QueueTimeout,
 }
 
 #[derive(Debug)]
@@ -112,10 +121,11 @@ pub struct RunGate {
     cv: Condvar,
     max_active: usize,
     max_queued: usize,
+    max_wait: Duration,
 }
 
 impl RunGate {
-    fn new(max_active: usize, max_queued: usize) -> Self {
+    fn new(max_active: usize, max_queued: usize, max_wait: Duration) -> Self {
         RunGate {
             state: Mutex::new(GateState {
                 active: 0,
@@ -124,11 +134,13 @@ impl RunGate {
             cv: Condvar::new(),
             max_active: max_active.max(1),
             max_queued,
+            max_wait,
         }
     }
 
-    /// Acquire an execution slot, waiting in the bounded queue if all
-    /// slots are busy. Returns the RAII permit, or why admission failed.
+    /// Acquire an execution slot, waiting in the bounded queue (up to
+    /// the configured deadline) if all slots are busy. Returns the RAII
+    /// permit, or why admission failed.
     pub fn admit(&self, running: &AtomicBool) -> Result<RunPermit<'_>, AdmitError> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if !running.load(Ordering::Acquire) {
@@ -140,11 +152,28 @@ impl RunGate {
             }
             state.queued += 1;
             RUN_QUEUE_DEPTH.add(1);
+            let deadline = Instant::now() + self.max_wait;
+            let mut timed_out = false;
             while state.active >= self.max_active && running.load(Ordering::Acquire) {
-                state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                let Some(left) = deadline
+                    .checked_duration_since(Instant::now())
+                    .filter(|d| !d.is_zero())
+                else {
+                    timed_out = true;
+                    break;
+                };
+                let (s, _t) = self
+                    .cv
+                    .wait_timeout(state, left)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = s;
             }
             state.queued -= 1;
             RUN_QUEUE_DEPTH.sub(1);
+            if timed_out {
+                RUN_QUEUE_TIMEOUTS.inc();
+                return Err(AdmitError::QueueTimeout);
+            }
             if !running.load(Ordering::Acquire) {
                 // Shutdown won the race: bounce the queued run (it has
                 // not started; in-flight actives drain normally).
@@ -208,7 +237,11 @@ pub struct SharedState {
 impl SharedState {
     /// Fresh state for a server bound at `addr`.
     pub fn new(config: ServerConfig, addr: SocketAddr) -> Self {
-        let gate = RunGate::new(config.max_concurrent_runs, config.max_queued_runs);
+        let gate = RunGate::new(
+            config.max_concurrent_runs,
+            config.max_queued_runs,
+            config.queue_wait,
+        );
         SharedState {
             config,
             running: AtomicBool::new(true),
@@ -236,10 +269,13 @@ impl SharedState {
 mod tests {
     use super::*;
 
+    /// A generous wait for tests that must not hit the deadline.
+    const LONG: Duration = Duration::from_secs(30);
+
     #[test]
     fn gate_admits_up_to_capacity_then_queue_fills() {
         let running = AtomicBool::new(true);
-        let gate = RunGate::new(2, 0);
+        let gate = RunGate::new(2, 0, LONG);
         let a = gate.admit(&running).expect("slot 1");
         let b = gate.admit(&running).expect("slot 2");
         assert_eq!(gate.admit(&running).unwrap_err(), AdmitError::QueueFull);
@@ -254,7 +290,7 @@ mod tests {
     #[test]
     fn gate_queued_waiter_gets_freed_slot() {
         let running = AtomicBool::new(true);
-        let gate = RunGate::new(1, 2);
+        let gate = RunGate::new(1, 2, LONG);
         let held = gate.admit(&running).expect("slot");
         std::thread::scope(|s| {
             let waiter = s.spawn(|| gate.admit(&running).map(drop));
@@ -271,8 +307,27 @@ mod tests {
     #[test]
     fn gate_bounces_on_shutdown() {
         let running = AtomicBool::new(false);
-        let gate = RunGate::new(1, 2);
+        let gate = RunGate::new(1, 2, LONG);
         assert_eq!(gate.admit(&running).unwrap_err(), AdmitError::Draining);
+    }
+
+    #[test]
+    fn gate_queued_waiter_times_out_when_slot_never_frees() {
+        let running = AtomicBool::new(true);
+        let gate = RunGate::new(1, 2, Duration::from_millis(30));
+        let held = gate.admit(&running).expect("slot");
+        let start = Instant::now();
+        assert_eq!(gate.admit(&running).unwrap_err(), AdmitError::QueueTimeout);
+        assert!(
+            start.elapsed() >= Duration::from_millis(30),
+            "bounced before the deadline"
+        );
+        // The timed-out waiter left the queue; the slot is still held.
+        assert_eq!(gate.depth(), (1, 0));
+        drop(held);
+        // A later run is unaffected by the earlier timeout.
+        drop(gate.admit(&running).expect("slot after timeout"));
+        assert_eq!(gate.depth(), (0, 0));
     }
 
     #[test]

@@ -97,6 +97,29 @@ fn post(addr: SocketAddr, path: &str) -> (u16, String) {
     )
 }
 
+/// POST with a JSON body; returns `(status, headers, body)`.
+fn post_json(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.get(..3))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line in {response:?}"));
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or_default();
+    (status, head, body)
+}
+
 fn parse_ok(status: u16, body: &str) -> Json {
     assert_eq!(status, 200, "unexpected status, body: {body}");
     json::parse(body).unwrap_or_else(|e| panic!("body is not strict JSON ({e}): {body}"))
@@ -233,6 +256,114 @@ fn metrics_and_status_expose_live_telemetry() {
     srv.shutdown();
 }
 
+#[test]
+fn run_with_injected_crash_recovers_and_reports() {
+    let srv = TestServer::start_default();
+    let attempts_before = scrape_counter(srv.addr, "syrk_recovery_attempts");
+    let (status, _head, body) = post_json(
+        srv.addr,
+        "/run?alg=2d&n1=36&n2=8&c=3&seed=7",
+        r#"{"recovery": {"max_attempts": 3}, "faults": {"seed": 5, "crash_rank": 1, "crash_op": 1}}"#,
+    );
+    let doc = parse_ok(status, &body);
+    let recovery = doc.get("recovery").expect("recovery report in response");
+    assert_eq!(recovery.get("recovered"), Some(&Json::Bool(true)), "{body}");
+    let lost = recovery
+        .get("ranks_lost")
+        .and_then(Json::as_arr)
+        .expect("ranks_lost");
+    assert_eq!(lost.len(), 1);
+    assert_eq!(lost[0].as_num(), Some(1.0));
+    let attempts = recovery
+        .get("attempts")
+        .and_then(Json::as_arr)
+        .expect("attempts");
+    assert_eq!(attempts.len(), 2, "{body}");
+    assert!(attempts[0]
+        .get("outcome")
+        .and_then(|o| o.get("kind"))
+        .and_then(Json::as_str)
+        .is_some_and(|k| k == "crashed"));
+    assert!(attempts
+        .iter()
+        .all(|a| a.get("bound_case").and_then(Json::as_str).is_some()));
+    // The replanned grid shrank below the original 12 ranks.
+    let final_ranks = recovery
+        .get("final_plan")
+        .and_then(|p| p.get("ranks"))
+        .and_then(Json::as_num)
+        .expect("final plan ranks");
+    assert!(final_ranks <= 11.0, "{body}");
+    let words = recovery
+        .get("recovery_words")
+        .and_then(Json::as_num)
+        .expect("recovery words");
+    assert!(words > 0.0, "{body}");
+    // The recovery counters are live on /metrics.
+    let attempts_after = scrape_counter(srv.addr, "syrk_recovery_attempts");
+    assert!(attempts_after > attempts_before);
+    // Determinism survives recovery: same request, same checksum.
+    let checksum = doc.get("c_checksum").and_then(Json::as_num).unwrap();
+    let (status2, _, body2) = post_json(
+        srv.addr,
+        "/run?alg=2d&n1=36&n2=8&c=3&seed=7",
+        r#"{"recovery": {"max_attempts": 3}, "faults": {"seed": 5, "crash_rank": 1, "crash_op": 1}}"#,
+    );
+    let again = parse_ok(status2, &body2);
+    assert_eq!(
+        again.get("c_checksum").and_then(Json::as_num),
+        Some(checksum)
+    );
+    srv.shutdown();
+}
+
+#[test]
+fn run_crash_without_recovery_budget_survives_as_422() {
+    // A crash with max_attempts=1 must surface as a typed 422, never a
+    // 500, and the server keeps serving afterwards.
+    let srv = TestServer::start_default();
+    let (status, _head, body) = post_json(
+        srv.addr,
+        "/run?alg=1d&n1=16&n2=8&p=4",
+        r#"{"recovery": {"max_attempts": 1}, "faults": {"crash_rank": 2, "crash_op": 1}}"#,
+    );
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("crash"), "{body}");
+    assert!(json::parse(&body).is_ok(), "{body}");
+    let (status, _) = get(srv.addr, "/plan?n1=30&n2=10&p=6");
+    assert_eq!(status, 200);
+    srv.shutdown();
+}
+
+#[test]
+fn queued_run_times_out_with_retry_after() {
+    let srv = TestServer::start(ServerConfig {
+        max_concurrent_runs: 1,
+        max_queued_runs: 2,
+        queue_wait: std::time::Duration::from_millis(80),
+        workers: 8,
+        ..ServerConfig::default()
+    });
+    let timeouts_before = scrape_counter(srv.addr, "syrk_server_run_queue_timeouts");
+    // Occupy the only slot; the next run queues, waits out the 80 ms
+    // deadline, and bounces with 503 + Retry-After.
+    let permit = srv.state.gate.admit(&srv.state.running).expect("free slot");
+    let (status, head, body) = post_json(srv.addr, "/run?alg=1d&n1=16&n2=8&p=2", "");
+    assert_eq!(status, 503, "{body}");
+    assert!(
+        head.to_ascii_lowercase().contains("retry-after:"),
+        "missing Retry-After in {head}"
+    );
+    assert!(json::parse(&body).is_ok(), "{body}");
+    let timeouts_after = scrape_counter(srv.addr, "syrk_server_run_queue_timeouts");
+    assert!(timeouts_after > timeouts_before);
+    drop(permit);
+    // The slot is free again: the same run now succeeds.
+    let (status, body) = post(srv.addr, "/run?alg=1d&n1=16&n2=8&p=2");
+    assert_eq!(status, 200, "{body}");
+    srv.shutdown();
+}
+
 // ---------------------------------------------------------------------------
 // Malformed input
 
@@ -277,6 +408,18 @@ fn malformed_requests_get_4xx_and_the_server_keeps_serving() {
         assert_eq!(got, want, "case {i}: body {body}");
         // Every error body is itself strict JSON.
         assert!(json::parse(body).is_ok(), "case {i}: non-JSON error {body}");
+    }
+    // Malformed and mistyped JSON bodies are 400s, not 500s.
+    for bad in [
+        "{not json",
+        r#"{"recovery": {"max_attempts": 0}}"#,
+        r#"{"recovery": {"max_attempts": "three"}}"#,
+        r#"{"recovery": 7}"#,
+        r#"{"faults": {"crash_rank": -1}}"#,
+    ] {
+        let (status, _h, body) = post_json(srv.addr, "/run?alg=1d&n1=16&n2=8&p=2", bad);
+        assert_eq!(status, 400, "body {bad:?} -> {body}");
+        assert!(json::parse(&body).is_ok(), "non-JSON error {body}");
     }
     // The server survived the whole battery.
     let (status, _) = get(srv.addr, "/plan?n1=30&n2=10&p=6");
